@@ -1,0 +1,83 @@
+// Command apex-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	apex-bench -exp figure2            # one experiment
+//	apex-bench -exp all -scale quick   # everything, smoke-test scale
+//
+// Scales: quick (seconds), default (laptop, minutes), paper (full sizes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: figure2|figure3|table2|figure4a|figure4b|figure4c|figure5|figure6|figure7|all")
+		scale = flag.String("scale", "default", "configuration scale: quick|default|paper")
+		runs  = flag.Int("runs", 0, "override repetition count")
+		seed  = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick()
+	case "default":
+		cfg = experiments.Default()
+	case "paper":
+		cfg = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+		cfg.ERRuns = *runs
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	drivers := map[string]func(experiments.Config) error{
+		"figure2":  experiments.Figure2,
+		"figure3":  experiments.Figure3,
+		"table2":   experiments.Table2,
+		"figure4a": experiments.Figure4a,
+		"figure4b": experiments.Figure4b,
+		"figure4c": experiments.Figure4c,
+		"figure5":  experiments.Figure5,
+		"figure6":  experiments.Figure6,
+		"figure7":  experiments.Figure7,
+	}
+	order := []string{"figure2", "figure3", "table2", "figure4a", "figure4b", "figure4c", "figure5", "figure6", "figure7"}
+
+	run := func(name string) {
+		start := time.Now()
+		if err := drivers[name](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	if _, ok := drivers[*exp]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run(*exp)
+}

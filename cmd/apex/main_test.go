@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSchema(t *testing.T) {
+	path := writeTemp(t, "s.schema", `
+# comment line
+age     continuous  0 100
+state   categorical AL,AK,WY
+`)
+	s, err := loadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 {
+		t.Fatalf("arity %d", s.Arity())
+	}
+	a, ok := s.AttrByName("age")
+	if !ok || a.Kind != dataset.Continuous || a.Min != 0 || a.Max != 100 {
+		t.Fatalf("age = %+v", a)
+	}
+	st, ok := s.AttrByName("state")
+	if !ok || st.Kind != dataset.Categorical || len(st.Values) != 3 {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":        "age\n",
+		"bad kind":          "age weird 0 1\n",
+		"continuous fields": "age continuous 0\n",
+		"bad float":         "age continuous x 1\n",
+		"categorical":       "state categorical\n",
+	}
+	for name, content := range cases {
+		path := writeTemp(t, "bad.schema", content)
+		if _, err := loadSchema(path); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	if _, err := loadSchema("/nonexistent/file"); err == nil {
+		t.Error("missing file must error")
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: build a small sensitive table, stand up an APEx engine with a
+// privacy budget, and ask one of each query type with an accuracy bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/noise"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. The public schema: attribute names and domains are not sensitive.
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.Continuous, Min: 0, Max: 100},
+		dataset.Attribute{Name: "state", Kind: dataset.Categorical, Values: []string{"AL", "AK", "NY", "WY"}},
+	)
+
+	// 2. The sensitive instance (normally loaded by the data owner).
+	table := dataset.NewTable(schema)
+	states := []string{"AL", "AK", "NY", "NY", "WY"}
+	for i := 0; i < 5000; i++ {
+		table.MustAppend(dataset.Tuple{
+			dataset.Num(float64(20 + (i*7)%60)),
+			dataset.Str(states[i%len(states)]),
+		})
+	}
+
+	// 3. The engine: the owner grants a total privacy budget B.
+	eng, err := engine.New(table, engine.Config{
+		Budget: 2.0,
+		Mode:   engine.Optimistic,
+		Rng:    noise.NewRand(42),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	req := accuracy.Requirement{Alpha: 100, Beta: 0.05} // ±100 rows, 95% confidence
+
+	// 4a. Workload counting query: an age histogram.
+	bins, err := workload.Histogram1D("age", 0, 100, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wcq, err := query.NewWCQ(bins, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := eng.Ask(wcq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("WCQ via %s (ε=%.4f):\n", ans.Mechanism, ans.Epsilon)
+	for i, p := range ans.Predicates {
+		fmt.Printf("  %-16s %8.1f\n", p, ans.Counts[i])
+	}
+
+	// 4b. Iceberg query: which states have more than 900 people?
+	statePreds := workload.CategoryPredicates("state", []string{"AL", "AK", "NY", "WY"})
+	icq, err := query.NewICQ(statePreds, 900, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err = eng.Ask(icq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ICQ via %s (ε=%.4f): states over 900 = %v\n",
+		ans.Mechanism, ans.Epsilon, ans.SelectedPredicates())
+
+	// 4c. Top-k query: the two most common states.
+	tcq, err := query.NewTCQ(statePreds, 2, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err = eng.Ask(tcq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TCQ via %s (ε=%.4f): top-2 states = %v\n",
+		ans.Mechanism, ans.Epsilon, ans.SelectedPredicates())
+
+	// 5. The analyst's total view of the data is bounded by the spent budget.
+	fmt.Printf("privacy spent: %.4f of %.1f\n", eng.Spent(), eng.Budget())
+}

@@ -1,0 +1,167 @@
+// Package accuracy defines APEx's accuracy semantics (Definitions 3.1–3.3)
+// and the empirical error metrics the paper's evaluation section reports:
+// the scaled maximum workload error for WCQ, the scaled mislabel distance
+// for ICQ/TCQ, and the F1 score between true and noisy answer sets.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Requirement is the (α, 1-β) accuracy annotation attached to every
+// exploration query: "error at most Alpha except with probability Beta".
+type Requirement struct {
+	// Alpha is the additive error bound in count units.
+	Alpha float64
+	// Beta is the failure probability (confidence is 1-Beta).
+	Beta float64
+}
+
+// Validate checks the requirement is usable: α > 0 and β ∈ (0, 1).
+func (r Requirement) Validate() error {
+	if r.Alpha <= 0 || math.IsNaN(r.Alpha) || math.IsInf(r.Alpha, 0) {
+		return fmt.Errorf("accuracy: alpha must be positive and finite, got %v", r.Alpha)
+	}
+	if r.Beta <= 0 || r.Beta >= 1 || math.IsNaN(r.Beta) {
+		return fmt.Errorf("accuracy: beta must lie in (0,1), got %v", r.Beta)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (r Requirement) String() string {
+	return fmt.Sprintf("ERROR %g CONFIDENCE %g", r.Alpha, 1-r.Beta)
+}
+
+// WCQError returns the maximum absolute error ‖noisy - truth‖∞ of a
+// workload counting answer. Scale by |D| for the paper's reported metric.
+func WCQError(truth, noisy []float64) (float64, error) {
+	if len(truth) != len(noisy) {
+		return 0, fmt.Errorf("accuracy: answer length %d vs %d", len(noisy), len(truth))
+	}
+	var worst float64
+	for i := range truth {
+		if d := math.Abs(noisy[i] - truth[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// ICQError returns the maximum mislabel distance of an iceberg answer: for
+// each predicate included in the answer whose true count is below the
+// threshold c, the shortfall c - count; for each excluded predicate whose
+// true count exceeds c, the excess count - c. Zero means a perfect
+// labeling. truth holds the true counts per workload predicate; selected[i]
+// reports whether predicate i was returned.
+func ICQError(truth []float64, selected []bool, c float64) (float64, error) {
+	if len(truth) != len(selected) {
+		return 0, fmt.Errorf("accuracy: counts %d vs selections %d", len(truth), len(selected))
+	}
+	var worst float64
+	for i, cnt := range truth {
+		var d float64
+		if selected[i] && cnt < c {
+			d = c - cnt
+		} else if !selected[i] && cnt > c {
+			d = cnt - c
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// TCQError returns the maximum mislabel distance of a top-k answer: for
+// each selected predicate whose true count is below the true k-th largest
+// count ck, the shortfall ck - count; for each unselected predicate whose
+// count exceeds ck, the excess. Zero means the answer is a valid top-k set.
+func TCQError(truth []float64, selected []bool, k int) (float64, error) {
+	if len(truth) != len(selected) {
+		return 0, fmt.Errorf("accuracy: counts %d vs selections %d", len(truth), len(selected))
+	}
+	if k <= 0 || k > len(truth) {
+		return 0, fmt.Errorf("accuracy: k=%d out of range for %d predicates", k, len(truth))
+	}
+	ck := KthLargest(truth, k)
+	var worst float64
+	for i, cnt := range truth {
+		var d float64
+		if selected[i] && cnt < ck {
+			d = ck - cnt
+		} else if !selected[i] && cnt > ck {
+			d = cnt - ck
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// KthLargest returns the k-th largest value of xs (1-based).
+func KthLargest(xs []float64, k int) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	return cp[k-1]
+}
+
+// F1 returns the F1 score between the true answer set and the noisy answer
+// set, both given as selection masks over the same workload. A pair of
+// empty sets scores 1 (nothing to find, nothing found).
+func F1(truthSel, noisySel []bool) (float64, error) {
+	if len(truthSel) != len(noisySel) {
+		return 0, fmt.Errorf("accuracy: masks %d vs %d", len(truthSel), len(noisySel))
+	}
+	var tp, fp, fn int
+	for i := range truthSel {
+		switch {
+		case truthSel[i] && noisySel[i]:
+			tp++
+		case !truthSel[i] && noisySel[i]:
+			fp++
+		case truthSel[i] && !noisySel[i]:
+			fn++
+		}
+	}
+	if tp == 0 {
+		if fp == 0 && fn == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	return 2 * precision * recall / (precision + recall), nil
+}
+
+// SelectTopK returns the mask of the k largest counts (ties broken by
+// lower index, matching a stable descending sort).
+func SelectTopK(counts []float64, k int) []bool {
+	type pair struct {
+		i int
+		v float64
+	}
+	ps := make([]pair, len(counts))
+	for i, v := range counts {
+		ps[i] = pair{i, v}
+	}
+	sort.SliceStable(ps, func(a, b int) bool { return ps[a].v > ps[b].v })
+	mask := make([]bool, len(counts))
+	for j := 0; j < k && j < len(ps); j++ {
+		mask[ps[j].i] = true
+	}
+	return mask
+}
+
+// SelectAbove returns the mask of counts strictly greater than c.
+func SelectAbove(counts []float64, c float64) []bool {
+	mask := make([]bool, len(counts))
+	for i, v := range counts {
+		mask[i] = v > c
+	}
+	return mask
+}

@@ -1,0 +1,235 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequirementValidate(t *testing.T) {
+	good := Requirement{Alpha: 10, Beta: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Requirement{
+		{Alpha: 0, Beta: 0.05},
+		{Alpha: -1, Beta: 0.05},
+		{Alpha: math.Inf(1), Beta: 0.05},
+		{Alpha: math.NaN(), Beta: 0.05},
+		{Alpha: 1, Beta: 0},
+		{Alpha: 1, Beta: 1},
+		{Alpha: 1, Beta: -0.1},
+		{Alpha: 1, Beta: math.NaN()},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, r)
+		}
+	}
+}
+
+func TestRequirementString(t *testing.T) {
+	r := Requirement{Alpha: 10, Beta: 0.05}
+	if got := r.String(); got != "ERROR 10 CONFIDENCE 0.95" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestWCQError(t *testing.T) {
+	got, err := WCQError([]float64{10, 20, 30}, []float64{12, 18, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("WCQError = %v, want 2", got)
+	}
+	if _, err := WCQError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestICQError(t *testing.T) {
+	truth := []float64{100, 40, 60, 55}
+	c := 50.0
+	// Perfect labeling.
+	sel := []bool{true, false, true, true}
+	got, err := ICQError(truth, sel, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("perfect labeling error = %v", got)
+	}
+	// Include a 40-count bin (shortfall 10), exclude the 100 bin (excess 50).
+	bad := []bool{false, true, true, true}
+	got, err = ICQError(truth, bad, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Fatalf("mislabel distance = %v, want 50", got)
+	}
+	if _, err := ICQError(truth, []bool{true}, c); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestTCQError(t *testing.T) {
+	truth := []float64{90, 80, 70, 10, 5}
+	// True top-3: indices 0,1,2 with ck=70.
+	perfect := []bool{true, true, true, false, false}
+	got, err := TCQError(truth, perfect, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("perfect top-k error = %v", got)
+	}
+	// Swap in the 10-count bin for the 90: both errors counted.
+	bad := []bool{false, true, true, true, false}
+	got, err = TCQError(truth, bad, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 60 { // max(70-10, 90-70) = 60
+		t.Fatalf("error = %v, want 60", got)
+	}
+	if _, err := TCQError(truth, perfect, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := TCQError(truth, perfect, 6); err == nil {
+		t.Fatal("k>L must error")
+	}
+	if _, err := TCQError(truth, []bool{true}, 1); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := KthLargest(xs, 1); got != 5 {
+		t.Fatalf("1st = %v", got)
+	}
+	if got := KthLargest(xs, 3); got != 3 {
+		t.Fatalf("3rd = %v", got)
+	}
+	if got := KthLargest(xs, 5); got != 1 {
+		t.Fatalf("5th = %v", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("KthLargest must not mutate input")
+	}
+}
+
+func TestF1(t *testing.T) {
+	cases := []struct {
+		truth, noisy []bool
+		want         float64
+	}{
+		{[]bool{true, false}, []bool{true, false}, 1},
+		{[]bool{false, false}, []bool{false, false}, 1},
+		{[]bool{true, true}, []bool{false, false}, 0},
+		{[]bool{false, false}, []bool{true, true}, 0},
+		// tp=1 fp=1 fn=1: precision=recall=0.5, F1=0.5.
+		{[]bool{true, true, false}, []bool{true, false, true}, 0.5},
+	}
+	for i, c := range cases {
+		got, err := F1(c.truth, c.noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: F1 = %v, want %v", i, got, c.want)
+		}
+	}
+	if _, err := F1([]bool{true}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestSelectTopK(t *testing.T) {
+	mask := SelectTopK([]float64{5, 9, 1, 9}, 2)
+	// Stable: first 9 (index 1) then second 9 (index 3).
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+	all := SelectTopK([]float64{1, 2}, 5)
+	if !all[0] || !all[1] {
+		t.Fatal("k larger than L selects everything")
+	}
+}
+
+func TestSelectAbove(t *testing.T) {
+	mask := SelectAbove([]float64{10, 50, 51}, 50)
+	want := []bool{false, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("mask = %v, want %v", mask, want)
+		}
+	}
+}
+
+// Property: WCQError is symmetric and zero iff vectors are equal.
+func TestQuickWCQErrorMetric(t *testing.T) {
+	f := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			n := len(a)
+			if len(b) < n {
+				n = len(b)
+			}
+			a, b = a[:n], b[:n]
+		}
+		for _, v := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		ab, err1 := WCQError(a, b)
+		ba, err2 := WCQError(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == ba && (ab > 0) == !equalSlices(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalSlices(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the true top-k selection always has zero TCQ error and F1 = 1.
+func TestQuickTopKSelfConsistency(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		counts := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				counts = append(counts, v)
+			}
+		}
+		if len(counts) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(counts) + 1
+		sel := SelectTopK(counts, k)
+		e, err := TCQError(counts, sel, k)
+		if err != nil {
+			return false
+		}
+		return e == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestAdultShape(t *testing.T) {
+	const n = 20000
+	d := Adult(n, 1)
+	if d.Size() != n {
+		t.Fatalf("size %d", d.Size())
+	}
+	// ~92% zero capital gain.
+	zeros := d.Count(dataset.NumCmp{Attr: "capital gain", Op: dataset.Eq, C: 0})
+	if frac := float64(zeros) / n; frac < 0.88 || frac > 0.95 {
+		t.Fatalf("zero-gain fraction %v, want ~0.92", frac)
+	}
+	// ~67% male.
+	males := d.Count(dataset.StrEq{Attr: "sex", Val: "Male"})
+	if frac := float64(males) / n; frac < 0.63 || frac > 0.71 {
+		t.Fatalf("male fraction %v, want ~0.67", frac)
+	}
+	// The QI2 anchor bins: male & gain<100 near 0.61|D|, female & gain<100
+	// near 0.31|D| (the structure behind Figure 4c).
+	maleLow := d.Count(dataset.And{
+		dataset.Range{Attr: "capital gain", Lo: 0, Hi: 100},
+		dataset.StrEq{Attr: "sex", Val: "Male"},
+	})
+	if frac := float64(maleLow) / n; frac < 0.55 || frac > 0.68 {
+		t.Fatalf("male low-gain fraction %v, want ~0.61", frac)
+	}
+	femaleLow := d.Count(dataset.And{
+		dataset.Range{Attr: "capital gain", Lo: 0, Hi: 100},
+		dataset.StrEq{Attr: "sex", Val: "Female"},
+	})
+	if frac := float64(femaleLow) / n; frac < 0.26 || frac > 0.36 {
+		t.Fatalf("female low-gain fraction %v, want ~0.31", frac)
+	}
+}
+
+func TestAdultAgesIntegerInRange(t *testing.T) {
+	d := Adult(5000, 2)
+	idx, _ := d.Schema().Lookup("age")
+	for i := 0; i < d.Size(); i++ {
+		v, ok := d.Row(i)[idx].AsNum()
+		if !ok {
+			t.Fatal("age must be numeric")
+		}
+		if v != math.Floor(v) || v < 17 || v > 90 {
+			t.Fatalf("bad age %v", v)
+		}
+	}
+}
+
+func TestAdultDeterministic(t *testing.T) {
+	a := Adult(100, 7)
+	b := Adult(100, 7)
+	for i := 0; i < 100; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("row %d differs at %d", i, j)
+			}
+		}
+	}
+	c := Adult(100, 8)
+	same := true
+	for i := 0; i < 100 && same; i++ {
+		ra, rc := a.Row(i), c.Row(i)
+		for j := range ra {
+			if ra[j] != rc[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestAdultWithinPublicDomain(t *testing.T) {
+	d := Adult(3000, 3)
+	s := d.Schema()
+	for i := 0; i < d.Size(); i++ {
+		row := d.Row(i)
+		for j := 0; j < s.Arity(); j++ {
+			attr := s.Attr(j)
+			v := row[j]
+			if v.IsNull() {
+				continue
+			}
+			switch attr.Kind {
+			case dataset.Continuous:
+				f, ok := v.AsNum()
+				if !ok || f < attr.Min || f > attr.Max {
+					t.Fatalf("row %d attr %q = %v outside [%v,%v]", i, attr.Name, v, attr.Min, attr.Max)
+				}
+			case dataset.Categorical:
+				sv, ok := v.AsStr()
+				if !ok {
+					t.Fatalf("row %d attr %q not a string", i, attr.Name)
+				}
+				found := false
+				for _, dom := range attr.Values {
+					if dom == sv {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("row %d attr %q = %q outside domain", i, attr.Name, sv)
+				}
+			}
+		}
+	}
+}
+
+func TestNYTaxiShape(t *testing.T) {
+	const n = 20000
+	d := NYTaxi(n, 1)
+	if d.Size() != n {
+		t.Fatalf("size %d", d.Size())
+	}
+	// Most trips are short: over half under 4 miles.
+	short := d.Count(dataset.Range{Attr: "trip distance", Lo: 0, Hi: 4})
+	if frac := float64(short) / n; frac < 0.5 {
+		t.Fatalf("short-trip fraction %v, want > 0.5", frac)
+	}
+	// Single-passenger dominates.
+	solo := d.Count(dataset.NumCmp{Attr: "passenger count", Op: dataset.Eq, C: 1})
+	if frac := float64(solo) / n; frac < 0.6 || frac > 0.8 {
+		t.Fatalf("solo fraction %v, want ~0.71", frac)
+	}
+	// Fares start at the $2.50 flagfall.
+	below := d.Count(dataset.NumCmp{Attr: "fare amount", Op: dataset.Lt, C: 2.5})
+	if below != 0 {
+		t.Fatalf("%d fares below flagfall", below)
+	}
+}
+
+func TestNYTaxiTotalsConsistent(t *testing.T) {
+	d := NYTaxi(2000, 2)
+	s := d.Schema()
+	fi, _ := s.Lookup("fare amount")
+	ti, _ := s.Lookup("tip amount")
+	oi, _ := s.Lookup("tolls amount")
+	tot, _ := s.Lookup("total amount")
+	for i := 0; i < d.Size(); i++ {
+		row := d.Row(i)
+		fare, _ := row[fi].AsNum()
+		tip, _ := row[ti].AsNum()
+		tolls, _ := row[oi].AsNum()
+		total, _ := row[tot].AsNum()
+		want := fare + tip + tolls + 0.5
+		if math.Abs(total-want) > 0.011 {
+			t.Fatalf("row %d total %v != %v", i, total, want)
+		}
+	}
+}
+
+func TestNYTaxiZonesSkewed(t *testing.T) {
+	d := NYTaxi(20000, 3)
+	// Zipf skew: the busiest decile of zones should carry a large share.
+	low := d.Count(dataset.Range{Attr: "PUID", Lo: 1, Hi: 27})
+	if frac := float64(low) / 20000; frac < 0.3 {
+		t.Fatalf("top-zone share %v, want > 0.3 (skewed)", frac)
+	}
+}
+
+func TestNYTaxiWithinPublicDomain(t *testing.T) {
+	d := NYTaxi(3000, 4)
+	s := d.Schema()
+	for i := 0; i < d.Size(); i++ {
+		row := d.Row(i)
+		for j := 0; j < s.Arity(); j++ {
+			attr := s.Attr(j)
+			if attr.Kind != dataset.Continuous {
+				continue
+			}
+			f, ok := row[j].AsNum()
+			if !ok || f < attr.Min || f > attr.Max {
+				t.Fatalf("row %d attr %q = %v outside [%v,%v]", i, attr.Name, row[j], attr.Min, attr.Max)
+			}
+		}
+	}
+}
+
+func TestPickHelpers(t *testing.T) {
+	rng := mustRng()
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickWeighted(rng, []string{"a", "b"}, []float64{0.9, 0.1})]++
+	}
+	if counts["a"] < 8500 {
+		t.Fatalf("weighted pick off: %v", counts)
+	}
+	zc := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		zc[pickZipf(rng, []string{"x", "y", "z"}, 1.0)]++
+	}
+	if !(zc["x"] > zc["y"] && zc["y"] > zc["z"]) {
+		t.Fatalf("zipf ordering off: %v", zc)
+	}
+}
+
+func mustRng() *rand.Rand { return rand.New(rand.NewSource(99)) }

@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table with a header row of attribute names. NULL
+// cells are written as the empty string.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema().Names()); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, t.Schema().Arity())
+	for i := 0; i < t.Size(); i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			switch {
+			case v.IsNull():
+				rec[j] = ""
+			default:
+				rec[j] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table conforming to the schema from CSV with a header
+// row. Columns are matched to attributes by header name; empty cells load
+// as NULL; cells of continuous attributes must parse as floats.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	colToAttr := make([]int, len(header))
+	for c, name := range header {
+		idx, ok := schema.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("dataset: CSV column %q not in schema", name)
+		}
+		colToAttr[c] = idx
+	}
+	tab := NewTable(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		row := make(Tuple, schema.Arity())
+		for c, cell := range rec {
+			attrIdx := colToAttr[c]
+			attr := schema.Attr(attrIdx)
+			switch {
+			case cell == "":
+				row[attrIdx] = Null
+			case attr.Kind == Continuous:
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d, column %q: %w", line, attr.Name, err)
+				}
+				row[attrIdx] = Num(f)
+			default:
+				row[attrIdx] = Str(cell)
+			}
+		}
+		if err := tab.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return tab, nil
+}

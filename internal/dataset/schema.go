@@ -1,0 +1,242 @@
+// Package dataset implements APEx's relational substrate: a single-table
+// schema R(A1..Ad) with categorical and continuous attributes, multiset
+// table instances, a typed predicate AST used to express exploration
+// workloads, and CSV import/export.
+//
+// The paper assumes the schema and full attribute domains are public
+// (§3); only the table instance is sensitive.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AttrKind distinguishes categorical from continuous attributes.
+type AttrKind int
+
+const (
+	// Categorical attributes take values from a finite public set.
+	Categorical AttrKind = iota
+	// Continuous attributes take numeric values in a public interval.
+	Continuous
+)
+
+// String implements fmt.Stringer.
+func (k AttrKind) String() string {
+	switch k {
+	case Categorical:
+		return "categorical"
+	case Continuous:
+		return "continuous"
+	default:
+		return fmt.Sprintf("AttrKind(%d)", int(k))
+	}
+}
+
+// Attribute describes one column of the public schema.
+type Attribute struct {
+	Name string
+	Kind AttrKind
+	// Values is the public finite domain for Categorical attributes.
+	Values []string
+	// Min and Max delimit the public domain for Continuous attributes.
+	Min, Max float64
+}
+
+// Schema is a single-table relational schema with public domains.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from attribute descriptions. Attribute names
+// must be unique and non-empty.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{index: make(map[string]int, len(attrs))}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute with empty name")
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute %q", a.Name)
+		}
+		if a.Kind == Continuous && a.Min > a.Max {
+			return nil, fmt.Errorf("dataset: attribute %q has Min %v > Max %v", a.Name, a.Min, a.Max)
+		}
+		if a.Kind == Categorical && len(a.Values) == 0 {
+			return nil, fmt.Errorf("dataset: categorical attribute %q has empty domain", a.Name)
+		}
+		s.index[a.Name] = len(s.attrs)
+		s.attrs = append(s.attrs, a)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for statically
+// known schemas in generators and tests.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attr returns the attribute at position i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Lookup returns the position of the named attribute.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// AttrByName returns the named attribute.
+func (s *Schema) AttrByName(name string) (Attribute, bool) {
+	if i, ok := s.index[name]; ok {
+		return s.attrs[i], true
+	}
+	return Attribute{}, false
+}
+
+// Names returns attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Value is one cell of a tuple: either a categorical string, a continuous
+// float, or NULL. The zero Value is NULL.
+type Value struct {
+	kind  valueKind
+	str   string
+	num   float64
+	_null struct{} // keep Value comparable and explicit about null state
+}
+
+type valueKind int
+
+const (
+	nullValue valueKind = iota
+	strValue
+	numValue
+)
+
+// Null is the NULL cell value.
+var Null = Value{}
+
+// Str returns a categorical value.
+func Str(v string) Value { return Value{kind: strValue, str: v} }
+
+// Num returns a continuous value.
+func Num(v float64) Value { return Value{kind: numValue, num: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == nullValue }
+
+// AsStr returns the string content; ok is false for non-string values.
+func (v Value) AsStr() (string, bool) { return v.str, v.kind == strValue }
+
+// AsNum returns the numeric content; ok is false for non-numeric values.
+func (v Value) AsNum() (float64, bool) { return v.num, v.kind == numValue }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.kind {
+	case nullValue:
+		return "NULL"
+	case strValue:
+		return v.str
+	default:
+		return fmt.Sprintf("%g", v.num)
+	}
+}
+
+// Tuple is one row; cells are indexed by schema position.
+type Tuple []Value
+
+// Table is a multiset of tuples conforming to a schema.
+type Table struct {
+	schema *Schema
+	rows   []Tuple
+}
+
+// NewTable returns an empty table over the schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Size returns the number of rows |D|.
+func (t *Table) Size() int { return len(t.rows) }
+
+// Row returns the i-th tuple (shared, not copied).
+func (t *Table) Row(i int) Tuple { return t.rows[i] }
+
+// Append adds a tuple; it must have the schema's arity.
+func (t *Table) Append(row Tuple) error {
+	if len(row) != t.schema.Arity() {
+		return fmt.Errorf("dataset: tuple arity %d, schema arity %d", len(row), t.schema.Arity())
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (t *Table) MustAppend(row Tuple) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Count returns the number of rows satisfying p.
+func (t *Table) Count(p Predicate) int {
+	var n int
+	for _, r := range t.rows {
+		if p.Eval(t.schema, r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sample returns a new table with the first n rows (or all rows if fewer).
+func (t *Table) Sample(n int) *Table {
+	if n > len(t.rows) {
+		n = len(t.rows)
+	}
+	out := NewTable(t.schema)
+	out.rows = append(out.rows, t.rows[:n]...)
+	return out
+}
+
+// DistinctValues returns the sorted distinct non-null string values of a
+// categorical attribute present in the table (a helper for exploration
+// tooling; the public domain remains the schema's).
+func (t *Table) DistinctValues(attr string) ([]string, error) {
+	idx, ok := t.schema.Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown attribute %q", attr)
+	}
+	set := make(map[string]struct{})
+	for _, r := range t.rows {
+		if s, ok := r[idx].AsStr(); ok {
+			set[s] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}

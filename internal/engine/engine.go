@@ -1,0 +1,392 @@
+// Package engine implements the APEx privacy engine (paper Algorithm 1 and
+// §6): given a sensitive table and an owner-specified privacy budget B, it
+// answers an adaptively chosen sequence of exploration queries, each with an
+// accuracy requirement, by
+//
+//  1. translating the query to the applicable mechanism with the least
+//     privacy loss (the accuracy translator, in optimistic or pessimistic
+//     mode), and
+//  2. refusing any query whose worst-case loss would overrun the remaining
+//     budget, while charging only the *actual* loss of data-dependent
+//     mechanisms (the privacy analyzer).
+//
+// Every interaction is recorded in a transcript whose validity invariants
+// (Definition 6.1) are maintained: the cumulative actual loss never exceeds
+// B, and any answered query also fit under B at its worst case.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/mechanism"
+	"repro/internal/query"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// Mode selects how the translator ranks mechanisms whose privacy loss is an
+// interval (paper Algorithm 1, lines 8 and 10).
+type Mode int
+
+const (
+	// Pessimistic picks the mechanism with the least worst-case loss εu.
+	Pessimistic Mode = iota
+	// Optimistic picks the mechanism with the least best-case loss εl
+	// (ties broken by εu). The paper's experiments run optimistic mode.
+	Optimistic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Pessimistic:
+		return "pessimistic"
+	case Optimistic:
+		return "optimistic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrDenied is returned when no applicable mechanism fits in the remaining
+// privacy budget ("Query Denied", Algorithm 1 line 16).
+var ErrDenied = errors.New("engine: query denied: insufficient privacy budget")
+
+// epsTol absorbs floating-point drift in budget comparisons.
+const epsTol = 1e-9
+
+// Answer is the engine's reply to one query.
+type Answer struct {
+	// Counts holds noisy counts for WCQ.
+	Counts []float64
+	// Selected marks returned bins for ICQ/TCQ.
+	Selected []bool
+	// Predicates echoes the query workload, aligned with Selected.
+	Predicates []dataset.Predicate
+	// Epsilon is the actual privacy loss charged.
+	Epsilon float64
+	// EpsilonUpper is the worst-case loss the analyzer reserved.
+	EpsilonUpper float64
+	// Mechanism names the mechanism that answered.
+	Mechanism string
+}
+
+// SelectedPredicates returns the predicates marked Selected.
+func (a *Answer) SelectedPredicates() []dataset.Predicate {
+	var out []dataset.Predicate
+	for i, sel := range a.Selected {
+		if sel {
+			out = append(out, a.Predicates[i])
+		}
+	}
+	return out
+}
+
+// Entry is one transcript record: the query with its accuracy requirement
+// and either the answer or the denial. External charges (extensions such as
+// SUM aggregates) carry a Label instead of a Query.
+type Entry struct {
+	Query   *query.Query
+	Label   string  // set for external charges
+	Answer  *Answer // nil when denied
+	Denied  bool
+	Epsilon float64 // actual loss (0 when denied)
+}
+
+// Config customizes engine construction.
+type Config struct {
+	// Budget is the owner's total privacy budget B. Required.
+	Budget float64
+	// Mode is the translator mode; default Pessimistic (zero value).
+	Mode Mode
+	// Mechanisms overrides the default mechanism suite.
+	Mechanisms []mechanism.Mechanism
+	// Rng drives all mechanism randomness; nil means a fixed-seed source.
+	Rng *rand.Rand
+	// TransformOptions tunes workload transformation limits.
+	TransformOptions workload.Options
+	// Reuse enables the inferencer (§9 extension): answered WCQ counts are
+	// cached and later queries over the same workload with an equal-or-
+	// looser accuracy requirement are answered as free post-processing.
+	Reuse bool
+}
+
+// Engine is the APEx privacy engine for one sensitive table.
+type Engine struct {
+	mu     sync.Mutex
+	data   *dataset.Table
+	budget float64
+	spent  float64
+	mode   Mode
+	mechs  []mechanism.Mechanism
+	rng    *rand.Rand
+	topt   workload.Options
+	log    []Entry
+
+	trCache map[string]*workload.Transformed
+	reuse   bool
+	answers map[string]*cachedAnswer
+}
+
+// DefaultMechanisms returns the full suite the paper's APEx supports: the
+// Laplace baseline, the H2 strategy mechanism, the multi-poking mechanism
+// and the Laplace top-k mechanism.
+func DefaultMechanisms() []mechanism.Mechanism {
+	return []mechanism.Mechanism{
+		mechanism.LM{},
+		mechanism.NewSM(strategy.H2, 0, 1),
+		mechanism.MPM{},
+		mechanism.LTM{},
+	}
+}
+
+// New builds an engine over the sensitive table d.
+func New(d *dataset.Table, cfg Config) (*Engine, error) {
+	if d == nil {
+		return nil, fmt.Errorf("engine: nil table")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("engine: privacy budget must be positive, got %v", cfg.Budget)
+	}
+	mechs := cfg.Mechanisms
+	if mechs == nil {
+		mechs = DefaultMechanisms()
+	}
+	rng := cfg.Rng
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Engine{
+		data:    d,
+		budget:  cfg.Budget,
+		mode:    cfg.Mode,
+		mechs:   mechs,
+		rng:     rng,
+		topt:    cfg.TransformOptions,
+		trCache: make(map[string]*workload.Transformed),
+		reuse:   cfg.Reuse,
+		answers: make(map[string]*cachedAnswer),
+	}, nil
+}
+
+// Budget returns the owner's total budget B.
+func (e *Engine) Budget() float64 { return e.budget }
+
+// Spent returns the cumulative actual privacy loss so far.
+func (e *Engine) Spent() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spent
+}
+
+// Remaining returns B minus the cumulative actual loss.
+func (e *Engine) Remaining() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.budget - e.spent
+}
+
+// Transcript returns a copy of the interaction log.
+func (e *Engine) Transcript() []Entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Entry(nil), e.log...)
+}
+
+// Choice describes one mechanism's translation for a query; used by
+// Translations for inspection and by the experiment harness.
+type Choice struct {
+	Mechanism mechanism.Mechanism
+	Cost      mechanism.Cost
+}
+
+// Translations returns every applicable mechanism's privacy-cost interval
+// for q, without running anything or consuming budget.
+func (e *Engine) Translations(q *query.Query) ([]Choice, error) {
+	tr, err := e.transform(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []Choice
+	for _, m := range e.mechs {
+		if !m.Applicable(q, tr) {
+			continue
+		}
+		cost, err := m.Translate(q, tr)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s translate: %w", m.Name(), err)
+		}
+		out = append(out, Choice{Mechanism: m, Cost: cost})
+	}
+	return out, nil
+}
+
+// Ask answers one exploration query (Algorithm 1's loop body). On denial it
+// returns ErrDenied and charges nothing.
+func (e *Engine) Ask(q *query.Query) (*Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	tr, err := e.transform(q)
+	if err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	key := workloadKey(q.Predicates)
+	if ans := e.tryReuse(q, key); ans != nil {
+		e.log = append(e.log, Entry{Query: q, Answer: ans})
+		return ans, nil
+	}
+
+	remaining := e.budget - e.spent
+	var best *Choice
+	for _, m := range e.mechs {
+		if !m.Applicable(q, tr) {
+			continue
+		}
+		cost, err := m.Translate(q, tr)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %s translate: %w", m.Name(), err)
+		}
+		// Only mechanisms whose worst case fits may run (privacy analyzer).
+		if cost.Upper > remaining+epsTol {
+			continue
+		}
+		c := Choice{Mechanism: m, Cost: cost}
+		if best == nil || e.better(c, *best) {
+			best = &c
+		}
+	}
+	if best == nil {
+		e.log = append(e.log, Entry{Query: q, Denied: true})
+		return nil, ErrDenied
+	}
+
+	res, err := best.Mechanism.Run(q, tr, e.data, e.rng)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s run: %w", best.Mechanism.Name(), err)
+	}
+	if res.Epsilon > best.Cost.Upper+epsTol {
+		return nil, fmt.Errorf("engine: %s actual loss %v exceeds declared upper bound %v",
+			best.Mechanism.Name(), res.Epsilon, best.Cost.Upper)
+	}
+	ans := &Answer{
+		Counts:       res.Counts,
+		Selected:     res.Selected,
+		Predicates:   q.Predicates,
+		Epsilon:      res.Epsilon,
+		EpsilonUpper: best.Cost.Upper,
+		Mechanism:    best.Mechanism.Name(),
+	}
+	// Charge the ACTUAL loss (Algorithm 1 line 12).
+	e.spent += res.Epsilon
+	e.log = append(e.log, Entry{Query: q, Answer: ans, Epsilon: res.Epsilon})
+	e.remember(q, key, ans.Counts)
+	return ans, nil
+}
+
+// ChargeExternal reserves and charges privacy loss for a mechanism that
+// runs outside the engine's own suite (the Appendix E aggregate
+// extensions). It enforces the same analyzer invariants as Ask: the upper
+// bound must fit the remaining budget (otherwise ErrDenied and nothing is
+// charged), and the actual loss must not exceed the declared upper bound.
+func (e *Engine) ChargeExternal(upper, actual float64, label string) error {
+	if upper < 0 || actual < 0 || actual > upper+epsTol {
+		return fmt.Errorf("engine: invalid external charge actual=%v upper=%v", actual, upper)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if upper > e.budget-e.spent+epsTol {
+		e.log = append(e.log, Entry{Label: label, Denied: true})
+		return ErrDenied
+	}
+	e.spent += actual
+	e.log = append(e.log, Entry{Label: label, Epsilon: actual})
+	return nil
+}
+
+// better reports whether a should be preferred over b under the engine mode.
+func (e *Engine) better(a, b Choice) bool {
+	if e.mode == Optimistic {
+		if a.Cost.Lower != b.Cost.Lower {
+			return a.Cost.Lower < b.Cost.Lower
+		}
+		return a.Cost.Upper < b.Cost.Upper
+	}
+	if a.Cost.Upper != b.Cost.Upper {
+		return a.Cost.Upper < b.Cost.Upper
+	}
+	return a.Cost.Lower < b.Cost.Lower
+}
+
+// transform computes (and caches) T(W) for the query's workload. The cache
+// key is the rendered workload, so repeated strategies (common in the
+// entity-resolution case study) skip re-partitioning.
+func (e *Engine) transform(q *query.Query) (*workload.Transformed, error) {
+	key := workloadKey(q.Predicates)
+	e.mu.Lock()
+	if tr, ok := e.trCache[key]; ok {
+		e.mu.Unlock()
+		return tr, nil
+	}
+	e.mu.Unlock()
+	tr, err := workload.Transform(e.data.Schema(), q.Predicates, e.topt)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.trCache[key] = tr
+	e.mu.Unlock()
+	return tr, nil
+}
+
+func workloadKey(preds []dataset.Predicate) string {
+	key := ""
+	for _, p := range preds {
+		key += p.String() + "\x00"
+	}
+	return key
+}
+
+// ValidateTranscript checks the §6 validity invariants (Definition 6.1) on
+// a transcript against a budget B: actual losses are nonnegative and sum to
+// at most B, denied entries charge nothing, and no single answered entry's
+// reserved worst case could have exceeded the budget remaining when it was
+// asked. It returns the total actual loss.
+func ValidateTranscript(entries []Entry, budget float64) (float64, error) {
+	var spent float64
+	for i, e := range entries {
+		if e.Epsilon < 0 {
+			return spent, fmt.Errorf("engine: entry %d has negative epsilon %v", i, e.Epsilon)
+		}
+		if e.Denied {
+			if e.Epsilon != 0 {
+				return spent, fmt.Errorf("engine: denied entry %d charged %v", i, e.Epsilon)
+			}
+			continue
+		}
+		if e.Answer != nil {
+			if e.Answer.Epsilon != e.Epsilon {
+				return spent, fmt.Errorf("engine: entry %d epsilon mismatch: %v vs %v", i, e.Answer.Epsilon, e.Epsilon)
+			}
+			if e.Answer.EpsilonUpper+epsTol < e.Epsilon {
+				return spent, fmt.Errorf("engine: entry %d actual %v above reserved %v", i, e.Epsilon, e.Answer.EpsilonUpper)
+			}
+			if spent+e.Answer.EpsilonUpper > budget+epsTol {
+				return spent, fmt.Errorf("engine: entry %d reserved %v beyond remaining %v", i, e.Answer.EpsilonUpper, budget-spent)
+			}
+		}
+		spent += e.Epsilon
+		if spent > budget+epsTol {
+			return spent, fmt.Errorf("engine: cumulative loss %v exceeds budget %v at entry %d", spent, budget, i)
+		}
+	}
+	return spent, nil
+}

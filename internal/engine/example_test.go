@@ -1,0 +1,76 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/noise"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Example shows the full owner/analyst flow: the owner stands up an engine
+// with a budget over the sensitive table; the analyst asks a histogram with
+// an accuracy bound and receives noisy counts plus the charged privacy loss.
+func Example() {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.Continuous, Min: 0, Max: 100},
+	)
+	table := dataset.NewTable(schema)
+	for i := 0; i < 1000; i++ {
+		table.MustAppend(dataset.Tuple{dataset.Num(float64(20 + i%60))})
+	}
+
+	eng, err := engine.New(table, engine.Config{
+		Budget: 1.0,
+		Mode:   engine.Optimistic,
+		Rng:    noise.NewRand(7),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	bins, err := workload.Histogram1D("age", 0, 100, 50)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	q, err := query.NewWCQ(bins, accuracy.Requirement{Alpha: 50, Beta: 0.05})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	ans, err := eng.Ask(q)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("mechanism: %s\n", ans.Mechanism)
+	fmt.Printf("bins answered: %d\n", len(ans.Counts))
+	fmt.Printf("budget remaining positive: %v\n", eng.Remaining() > 0)
+	// Output:
+	// mechanism: LM
+	// bins answered: 2
+	// budget remaining positive: true
+}
+
+// ExampleEngine_Advise shows the recommender primitive: cost advice without
+// spending any budget.
+func ExampleEngine_Advise() {
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "v", Kind: dataset.Continuous, Min: 0, Max: 10},
+	)
+	table := dataset.NewTable(schema)
+	table.MustAppend(dataset.Tuple{dataset.Num(5)})
+	eng, _ := engine.New(table, engine.Config{Budget: 1, Rng: noise.NewRand(1)})
+
+	q, _ := query.Parse(`BIN D ON COUNT(*) WHERE W = { v > 5 } ERROR 10 CONFIDENCE 0.95;`)
+	best, affordable, _ := eng.Advise(q)
+	fmt.Printf("%s affordable=%v spent=%v\n", best.Mechanism.Name(), affordable, eng.Spent())
+	// Output:
+	// LM affordable=true spent=0
+}

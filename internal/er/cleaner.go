@@ -1,0 +1,150 @@
+package er
+
+import (
+	"math/rand"
+)
+
+// Style is the cleaner's attitude to noisy answers (Table 3, c6).
+type Style int
+
+// Cleaner styles.
+const (
+	// Neutral trusts the noisy answer as is.
+	Neutral Style = iota
+	// OptimisticStyle adds α/5 to noisy answers before deciding.
+	OptimisticStyle
+	// PessimisticStyle subtracts α/5 from noisy answers before deciding.
+	PessimisticStyle
+)
+
+// Cleaner is one concrete sample from the cleaner model C = (x1..x11) of
+// Table 3: the parameters that drive a blocking or matching exploration.
+type Cleaner struct {
+	// Attrs is x1: the ordered attribute subset (chosen by null counts at
+	// run time; NumAttrs fixes its size).
+	NumAttrs int
+	// Transforms is x2: the transformation subset.
+	Transforms []Transformation
+	// Sims is x3: the similarity-function subset.
+	Sims []SimFunc
+	// ThetaLo and ThetaHi are x4, x5: the threshold range.
+	ThetaLo, ThetaHi float64
+	// NumThetas is x6: how many thresholds to try, evenly spaced.
+	NumThetas int
+	// ThetaDescending orders thresholds high-to-low when true.
+	ThetaDescending bool
+	// MinMatchCaught is x8: minimum fraction of remaining matches a
+	// blocking predicate must catch.
+	MinMatchCaught float64
+	// MaxNonMatchCaught is x9: maximum fraction of remaining non-matches a
+	// blocking predicate may catch.
+	MaxNonMatchCaught float64
+	// Relax is x10: when every candidate was rejected and O is empty,
+	// MinMatchCaught /= Relax and MaxNonMatchCaught *= Relax.
+	Relax float64
+	// Style is x11.
+	Style Style
+	// MaxPruneMatch / MinPruneNonMatch are the matching-task criteria
+	// (Figure 9): a predicate may prune at most this fraction of captured
+	// matches and must prune at least this fraction of captured non-matches.
+	MaxPruneMatch    float64
+	MinPruneNonMatch float64
+	// PredOrderSeed is x7: the permutation seed for the candidate order.
+	PredOrderSeed int64
+	// BlockingCostCutoff is the maximum fraction of pairs a blocking
+	// function may capture (the paper's 550/4000 hardware cutoff).
+	BlockingCostCutoff float64
+}
+
+// SampleCleaner draws one concrete cleaner from the model's parameter space
+// (Table 3).
+func SampleCleaner(rng *rand.Rand) Cleaner {
+	trs := sampleSubset(rng, AllTransformations, 1+rng.Intn(3))
+	sims := sampleSubset(rng, AllSimFuncs, 2+rng.Intn(5))
+	c := Cleaner{
+		NumAttrs:           2 + rng.Intn(3), // 2..4 of the citation attrs
+		Transforms:         trs,
+		Sims:               sims,
+		ThetaLo:            0.05 + rng.Float64()*0.45, // (0, 0.5)
+		ThetaHi:            0.5 + rng.Float64()*0.45,  // (0.5, 1)
+		NumThetas:          2 + rng.Intn(5),           // {2..6}
+		ThetaDescending:    rng.Intn(2) == 0,
+		MinMatchCaught:     0.2 + rng.Float64()*0.3,  // [0.2, 0.5]
+		MaxNonMatchCaught:  0.1 + rng.Float64()*0.1,  // [0.1, 0.2]
+		Relax:              float64(2 + rng.Intn(2)), // {2, 3}
+		Style:              Style(rng.Intn(3)),
+		MaxPruneMatch:      0.01 + rng.Float64()*0.04, // ~1-5%
+		MinPruneNonMatch:   0.3 + rng.Float64()*0.3,   // ~30-60%
+		PredOrderSeed:      rng.Int63(),
+		BlockingCostCutoff: 550.0 / 4000.0,
+	}
+	return c
+}
+
+// sampleSubset draws k distinct elements preserving a shuffled order.
+func sampleSubset[T any](rng *rand.Rand, pool []T, k int) []T {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]T, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// Thetas returns the cleaner's evenly spaced threshold list in its chosen
+// order (c4).
+func (c Cleaner) Thetas() []float64 {
+	n := c.NumThetas
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = (c.ThetaLo + c.ThetaHi) / 2
+	} else {
+		step := (c.ThetaHi - c.ThetaLo) / float64(n-1)
+		for i := range out {
+			out[i] = c.ThetaLo + float64(i)*step
+		}
+	}
+	if c.ThetaDescending {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// CandidatePredicates enumerates P = attrs × transforms × sims × thetas in
+// the cleaner's exploration order x7 (c5a).
+func (c Cleaner) CandidatePredicates(attrs []string) []SimPredicate {
+	var out []SimPredicate
+	for _, a := range attrs {
+		for _, tr := range c.Transforms {
+			for _, sf := range c.Sims {
+				for _, th := range c.Thetas() {
+					out = append(out, SimPredicate{Attr: a, Trans: tr, Sim: sf, Theta: th})
+				}
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(c.PredOrderSeed))
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// AdjustNoisy applies the cleaner's style (c6): optimistic cleaners inflate
+// noisy answers by α/5, pessimistic ones deflate them.
+func (c Cleaner) AdjustNoisy(v, alpha float64) float64 {
+	switch c.Style {
+	case OptimisticStyle:
+		return v + alpha/5
+	case PessimisticStyle:
+		return v - alpha/5
+	default:
+		return v
+	}
+}

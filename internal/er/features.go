@@ -1,0 +1,163 @@
+package er
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// FeatureName renders the table attribute name of the similarity feature
+// for the predicate family (attr, transformation, simFunc).
+func FeatureName(attr string, tr Transformation, sim SimFunc) string {
+	return attr + "|" + string(tr) + "|" + string(sim)
+}
+
+// FeatureTable materializes the APEx-visible table for the case study:
+// one row per citation pair, one continuous [0,1] attribute per
+// (record attribute × transformation × similarity function) combination,
+// plus the ground-truth label. A feature is NULL when either record's
+// attribute is missing — exactly the IS NULL semantics the strategies'
+// first query q1 relies on.
+//
+// Character-based similarities do not depend on the tokenization, so they
+// are computed once per (attr, sim) and reused across transformations.
+func FeatureTable(pairs []Pair) *dataset.Table {
+	attrs := make([]dataset.Attribute, 0, len(CitationAttrs)*len(AllTransformations)*len(AllSimFuncs)+1)
+	for _, a := range CitationAttrs {
+		for _, tr := range AllTransformations {
+			for _, sf := range AllSimFuncs {
+				attrs = append(attrs, dataset.Attribute{
+					Name: FeatureName(a, tr, sf),
+					Kind: dataset.Continuous,
+					Min:  0,
+					Max:  1,
+				})
+			}
+		}
+	}
+	attrs = append(attrs, dataset.Attribute{
+		Name:   "label",
+		Kind:   dataset.Categorical,
+		Values: []string{"MATCH", "NON-MATCH"},
+	})
+	schema := dataset.MustSchema(attrs...)
+	table := dataset.NewTable(schema)
+
+	for _, p := range pairs {
+		row := make(dataset.Tuple, schema.Arity())
+		col := 0
+		for _, a := range CitationAttrs {
+			v1, v2 := p.R1.Get(a), p.R2.Get(a)
+			missing := v1 == "" || v2 == ""
+			// Cache char-based sims once per attribute.
+			charSim := map[SimFunc]float64{}
+			if !missing {
+				n1, n2 := Normalize(v1), Normalize(v2)
+				for _, sf := range AllSimFuncs {
+					if !sf.IsTokenBased() {
+						charSim[sf] = attrSim(sf, a, n1, n2)
+					}
+				}
+			}
+			for _, tr := range AllTransformations {
+				var toks1, toks2 []string
+				if !missing {
+					toks1, toks2 = tr.Tokens(v1), tr.Tokens(v2)
+				}
+				for _, sf := range AllSimFuncs {
+					if missing {
+						row[col] = dataset.Null
+					} else if sf.IsTokenBased() {
+						row[col] = dataset.Num(TokenSim(sf, toks1, toks2))
+					} else {
+						row[col] = dataset.Num(charSim[sf])
+					}
+					col++
+				}
+			}
+		}
+		label := "NON-MATCH"
+		if p.Match {
+			label = "MATCH"
+		}
+		row[col] = dataset.Str(label)
+		table.MustAppend(row)
+	}
+	return table
+}
+
+// attrSim computes a character similarity with the year attribute treated
+// numerically for Diff (1 - |Δyear|/5, clamped), matching the cleaner
+// model's numeric-difference predicate.
+func attrSim(sf SimFunc, attr, n1, n2 string) float64 {
+	if sf == Diff && attr == "year" {
+		y1, err1 := strconv.Atoi(n1)
+		y2, err2 := strconv.Atoi(n2)
+		if err1 == nil && err2 == nil {
+			d := float64(y1 - y2)
+			if d < 0 {
+				d = -d
+			}
+			v := 1 - d/5
+			if v < 0 {
+				v = 0
+			}
+			return v
+		}
+	}
+	return StringSim(sf, n1, n2)
+}
+
+// SimPredicate is a similarity predicate p = (A, t, sim, θ): it holds when
+// sim(t(r1.A), t(r2.A)) > θ. Over the feature table this is a simple
+// comparison on the precomputed feature column.
+type SimPredicate struct {
+	Attr  string
+	Trans Transformation
+	Sim   SimFunc
+	Theta float64
+}
+
+// String implements fmt.Stringer.
+func (p SimPredicate) String() string {
+	return fmt.Sprintf("%s(%s(%s))>%.3f", p.Sim, p.Trans, p.Attr, p.Theta)
+}
+
+// Predicate converts the similarity predicate to a dataset predicate over
+// the feature table.
+func (p SimPredicate) Predicate() dataset.Predicate {
+	return dataset.NumCmp{Attr: FeatureName(p.Attr, p.Trans, p.Sim), Op: dataset.Gt, C: p.Theta}
+}
+
+// DNF is a disjunction of similarity predicates (a blocking function Pb).
+type DNF []SimPredicate
+
+// Predicate converts the DNF to a dataset predicate; an empty DNF matches
+// nothing.
+func (d DNF) Predicate() dataset.Predicate {
+	if len(d) == 0 {
+		return dataset.Not{P: dataset.True{}}
+	}
+	or := make(dataset.Or, len(d))
+	for i, p := range d {
+		or[i] = p.Predicate()
+	}
+	return or
+}
+
+// CNF is a conjunction of similarity predicates (a matching function Pm).
+type CNF []SimPredicate
+
+// Predicate converts the CNF to a dataset predicate; an empty CNF matches
+// everything.
+func (c CNF) Predicate() dataset.Predicate {
+	if len(c) == 0 {
+		return dataset.True{}
+	}
+	and := make(dataset.And, len(c))
+	for i, p := range c {
+		and[i] = p.Predicate()
+	}
+	return and
+}

@@ -1,0 +1,74 @@
+package er
+
+import (
+	"repro/internal/dataset"
+)
+
+// BlockingQuality evaluates a blocking function on the ground truth:
+// recall is the fraction of true match pairs captured by the DNF, and cost
+// is the fraction of all pairs captured (the blocking cost of §8.1).
+func BlockingQuality(table *dataset.Table, block DNF) (recall, cost float64) {
+	pred := block.Predicate()
+	s := table.Schema()
+	labelIdx, _ := s.Lookup("label")
+	var matches, caughtMatches, caught int
+	for i := 0; i < table.Size(); i++ {
+		row := table.Row(i)
+		isMatch := false
+		if v, ok := row[labelIdx].AsStr(); ok {
+			isMatch = v == "MATCH"
+		}
+		captured := pred.Eval(s, row)
+		if isMatch {
+			matches++
+			if captured {
+				caughtMatches++
+			}
+		}
+		if captured {
+			caught++
+		}
+	}
+	if matches > 0 {
+		recall = float64(caughtMatches) / float64(matches)
+	}
+	if table.Size() > 0 {
+		cost = float64(caught) / float64(table.Size())
+	}
+	return recall, cost
+}
+
+// MatchingQuality evaluates a matching function: precision and recall of
+// the CNF against the ground-truth labels, and their harmonic mean F1.
+func MatchingQuality(table *dataset.Table, match CNF) (precision, recall, f1 float64) {
+	pred := match.Predicate()
+	s := table.Schema()
+	labelIdx, _ := s.Lookup("label")
+	var tp, fp, fn int
+	for i := 0; i < table.Size(); i++ {
+		row := table.Row(i)
+		isMatch := false
+		if v, ok := row[labelIdx].AsStr(); ok {
+			isMatch = v == "MATCH"
+		}
+		predicted := pred.Eval(s, row)
+		switch {
+		case predicted && isMatch:
+			tp++
+		case predicted && !isMatch:
+			fp++
+		case !predicted && isMatch:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

@@ -1,0 +1,372 @@
+// Package er implements the entity-resolution substrate of the paper's case
+// study (§8 and Appendix C): a synthetic Magellan-style citations pair
+// dataset, string transformations and similarity functions, the similarity-
+// predicate feature space, the cleaner model of Table 3, and the four
+// exploration strategies (BS1/BS2 for blocking, MS1/MS2 for matching) that
+// drive APEx with sequences of WCQ/ICQ/TCQ queries.
+package er
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// SimFunc identifies one of the similarity functions of the cleaner model's
+// space S (Table 3).
+type SimFunc string
+
+// The similarity function space S.
+const (
+	Edit       SimFunc = "edit"
+	SmithWater SimFunc = "smithwater"
+	Jaro       SimFunc = "jaro"
+	Cosine     SimFunc = "cosine"
+	Jaccard    SimFunc = "jaccard"
+	Overlap    SimFunc = "overlap"
+	Diff       SimFunc = "diff"
+)
+
+// AllSimFuncs lists the similarity space S in a stable order.
+var AllSimFuncs = []SimFunc{Edit, SmithWater, Jaro, Cosine, Jaccard, Overlap, Diff}
+
+// IsTokenBased reports whether the function compares token sets (true) or
+// character strings (false).
+func (f SimFunc) IsTokenBased() bool {
+	switch f {
+	case Cosine, Jaccard, Overlap:
+		return true
+	default:
+		return false
+	}
+}
+
+// clamp01 guards against floating-point drift just outside [0,1].
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// StringSim computes a character-based similarity in [0,1].
+func StringSim(f SimFunc, a, b string) float64 {
+	return clamp01(stringSim(f, a, b))
+}
+
+func stringSim(f SimFunc, a, b string) float64 {
+	switch f {
+	case Edit:
+		return editSimilarity(a, b)
+	case SmithWater:
+		return smithWatermanSimilarity(a, b)
+	case Jaro:
+		return jaroSimilarity(a, b)
+	case Diff:
+		if a == b {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// TokenSim computes a token-set similarity in [0,1].
+func TokenSim(f SimFunc, a, b []string) float64 {
+	return clamp01(tokenSim(f, a, b))
+}
+
+func tokenSim(f SimFunc, a, b []string) float64 {
+	switch f {
+	case Cosine:
+		return cosineSimilarity(a, b)
+	case Jaccard:
+		return jaccardSimilarity(a, b)
+	case Overlap:
+		return overlapSimilarity(a, b)
+	default:
+		return 0
+	}
+}
+
+// editSimilarity is 1 - Levenshtein(a,b)/max(len). Empty-vs-empty is 1.
+func editSimilarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	dist := prev[lb]
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return 1 - float64(dist)/float64(maxLen)
+}
+
+// smithWatermanSimilarity normalizes the best local-alignment score (match
+// +2, mismatch -1, gap -1) by twice the shorter string's length (the maximum
+// achievable score).
+func smithWatermanSimilarity(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		if la == lb {
+			return 1
+		}
+		return 0
+	}
+	const match, mismatch, gap = 2, -1, -1
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	best := 0
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			s := mismatch
+			if a[i-1] == b[j-1] {
+				s = match
+			}
+			v := maxInt(0, prev[j-1]+s, prev[j]+gap, cur[j-1]+gap)
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	shorter := la
+	if lb < shorter {
+		shorter = lb
+	}
+	return float64(best) / float64(match*shorter)
+}
+
+// jaroSimilarity is the classic Jaro similarity.
+func jaroSimilarity(a, b string) float64 {
+	la, lb := len(a), len(b)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, la)
+	bMatch := make([]bool, lb)
+	var matches int
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt(lb-1, i+window, lb-1)
+		for j := lo; j <= hi; j++ {
+			if bMatch[j] || a[i] != b[j] {
+				continue
+			}
+			aMatch[i], bMatch[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	var transpositions int
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// cosineSimilarity is the cosine of the token frequency vectors.
+func cosineSimilarity(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	fa, fb := freq(a), freq(b)
+	var dot, na, nb float64
+	for tok, ca := range fa {
+		if cb, ok := fb[tok]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+		na += float64(ca) * float64(ca)
+	}
+	for _, cb := range fb {
+		nb += float64(cb) * float64(cb)
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// jaccardSimilarity is |A∩B| / |A∪B| over token sets.
+func jaccardSimilarity(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	sa, sb := toSet(a), toSet(b)
+	inter := 0
+	for tok := range sa {
+		if _, ok := sb[tok]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// overlapSimilarity is |A∩B| / min(|A|, |B|) over token sets.
+func overlapSimilarity(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	sa, sb := toSet(a), toSet(b)
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for tok := range sa {
+		if _, ok := sb[tok]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(minInt(len(sa), len(sb)))
+}
+
+func freq(tokens []string) map[string]int {
+	m := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		m[t]++
+	}
+	return m
+}
+
+func toSet(tokens []string) map[string]struct{} {
+	m := make(map[string]struct{}, len(tokens))
+	for _, t := range tokens {
+		m[t] = struct{}{}
+	}
+	return m
+}
+
+// Transformation identifies one of the cleaner model's transformation space
+// T: character n-grams or whitespace tokenization.
+type Transformation string
+
+// The transformation space T.
+const (
+	TwoGrams   Transformation = "2grams"
+	ThreeGrams Transformation = "3grams"
+	SpaceTok   Transformation = "space"
+)
+
+// AllTransformations lists T in a stable order.
+var AllTransformations = []Transformation{TwoGrams, ThreeGrams, SpaceTok}
+
+// Tokens applies the transformation to a string, producing the token list
+// consumed by token-based similarity functions.
+func (tr Transformation) Tokens(s string) []string {
+	s = Normalize(s)
+	switch tr {
+	case TwoGrams:
+		return ngrams(s, 2)
+	case ThreeGrams:
+		return ngrams(s, 3)
+	case SpaceTok:
+		return strings.Fields(s)
+	default:
+		return nil
+	}
+}
+
+// Normalize lowercases and collapses whitespace; the character-based
+// similarity functions operate on this view for every transformation.
+func Normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+func ngrams(s string, n int) []string {
+	if len(s) < n {
+		if s == "" {
+			return nil
+		}
+		return []string{s}
+	}
+	out := make([]string, 0, len(s)-n+1)
+	for i := 0; i+n <= len(s); i++ {
+		out = append(out, s[i:i+n])
+	}
+	return out
+}
+
+// SortedTokens returns the sorted unique tokens (helper for tests).
+func SortedTokens(tokens []string) []string {
+	set := toSet(tokens)
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func minInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

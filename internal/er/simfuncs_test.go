@@ -1,0 +1,158 @@
+package er
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEditSimilarity(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"abc", "abc", 1},
+		{"abc", "", 0},
+		{"", "abc", 0},
+		{"kitten", "sitting", 1 - 3.0/7},
+		{"abc", "abd", 1 - 1.0/3},
+	}
+	for _, c := range cases {
+		if got := StringSim(Edit, c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("edit(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroSimilarity(t *testing.T) {
+	// Classic reference values.
+	if got := StringSim(Jaro, "MARTHA", "MARHTA"); math.Abs(got-0.944444) > 1e-4 {
+		t.Fatalf("jaro(MARTHA,MARHTA) = %v", got)
+	}
+	if got := StringSim(Jaro, "DIXON", "DICKSONX"); math.Abs(got-0.766667) > 1e-4 {
+		t.Fatalf("jaro(DIXON,DICKSONX) = %v", got)
+	}
+	if got := StringSim(Jaro, "", ""); got != 1 {
+		t.Fatalf("jaro empty = %v", got)
+	}
+	if got := StringSim(Jaro, "a", ""); got != 0 {
+		t.Fatalf("jaro one-empty = %v", got)
+	}
+	if got := StringSim(Jaro, "abc", "xyz"); got != 0 {
+		t.Fatalf("jaro disjoint = %v", got)
+	}
+}
+
+func TestSmithWaterman(t *testing.T) {
+	if got := StringSim(SmithWater, "abc", "abc"); got != 1 {
+		t.Fatalf("SW identical = %v", got)
+	}
+	if got := StringSim(SmithWater, "abc", "xyz"); got != 0 {
+		t.Fatalf("SW disjoint = %v", got)
+	}
+	// Substring alignment scores fully for the shorter string.
+	if got := StringSim(SmithWater, "abc", "xxabcxx"); got != 1 {
+		t.Fatalf("SW substring = %v", got)
+	}
+}
+
+func TestDiffSim(t *testing.T) {
+	if StringSim(Diff, "x", "x") != 1 || StringSim(Diff, "x", "y") != 0 {
+		t.Fatal("diff must be exact match")
+	}
+}
+
+func TestTokenSims(t *testing.T) {
+	a := []string{"data", "base", "systems"}
+	b := []string{"data", "base", "theory"}
+	if got := TokenSim(Jaccard, a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("jaccard = %v, want 0.5", got)
+	}
+	if got := TokenSim(Overlap, a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("overlap = %v, want 2/3", got)
+	}
+	cos := TokenSim(Cosine, a, b)
+	if math.Abs(cos-2.0/3) > 1e-12 {
+		t.Fatalf("cosine = %v, want 2/3", cos)
+	}
+	if got := TokenSim(Jaccard, nil, nil); got != 1 {
+		t.Fatalf("jaccard empty = %v", got)
+	}
+	if got := TokenSim(Cosine, a, nil); got != 0 {
+		t.Fatalf("cosine one-empty = %v", got)
+	}
+}
+
+func TestTransformations(t *testing.T) {
+	toks := TwoGrams.Tokens("ab cd")
+	// Normalized "ab cd" has 2-grams: "ab","b ", " c","cd".
+	if len(toks) != 4 {
+		t.Fatalf("2grams = %v", toks)
+	}
+	toks3 := ThreeGrams.Tokens("abcd")
+	if len(toks3) != 2 || toks3[0] != "abc" || toks3[1] != "bcd" {
+		t.Fatalf("3grams = %v", toks3)
+	}
+	words := SpaceTok.Tokens("  Hello   World ")
+	if len(words) != 2 || words[0] != "hello" || words[1] != "world" {
+		t.Fatalf("space tokens = %v", words)
+	}
+	if got := TwoGrams.Tokens(""); got != nil {
+		t.Fatalf("empty string tokens = %v", got)
+	}
+	if got := TwoGrams.Tokens("a"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("short string tokens = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  A  B\tC "); got != "a b c" {
+		t.Fatalf("Normalize = %q", got)
+	}
+}
+
+// Property: all similarity functions land in [0,1] and are symmetric, and
+// identical inputs score 1.
+func TestQuickSimilarityProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		for _, sf := range []SimFunc{Edit, SmithWater, Jaro, Diff} {
+			ab := StringSim(sf, a, b)
+			ba := StringSim(sf, b, a)
+			if ab < -1e-12 || ab > 1+1e-12 {
+				return false
+			}
+			if math.Abs(ab-ba) > 1e-9 {
+				return false
+			}
+			if StringSim(sf, a, a) != 1 {
+				return false
+			}
+		}
+		ta, tb := SpaceTok.Tokens(a), SpaceTok.Tokens(b)
+		for _, sf := range []SimFunc{Cosine, Jaccard, Overlap} {
+			ab := TokenSim(sf, ta, tb)
+			ba := TokenSim(sf, tb, ta)
+			if ab < -1e-12 || ab > 1+1e-12 || math.Abs(ab-ba) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedTokens(t *testing.T) {
+	got := SortedTokens([]string{"b", "a", "b"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("SortedTokens = %v", got)
+	}
+}

@@ -1,0 +1,374 @@
+package er
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Task bundles everything one exploration strategy needs: the feature
+// table, an APEx engine over it, a concrete cleaner, and the accuracy
+// requirement each issued query carries.
+type Task struct {
+	Table   *dataset.Table
+	Engine  *engine.Engine
+	Cleaner Cleaner
+	// Alpha is the accuracy bound in count units (e.g. 0.008·|D|).
+	Alpha float64
+	// Beta is the per-query failure probability.
+	Beta float64
+}
+
+func (t *Task) req() accuracy.Requirement {
+	return accuracy.Requirement{Alpha: t.Alpha, Beta: t.Beta}
+}
+
+// repFeature returns the representative feature column used for null
+// counting on a record attribute (nulls are identical across features of
+// the same attribute).
+func repFeature(attr string) string {
+	return FeatureName(attr, AllTransformations[0], AllSimFuncs[0])
+}
+
+// chooseAttrsWCQ is q1 of BS1/MS1: a WCQ counting nulls per attribute, then
+// picking the Cleaner.NumAttrs attributes with the fewest (noisy) nulls.
+func (t *Task) chooseAttrsWCQ() ([]string, error) {
+	preds := make([]dataset.Predicate, len(CitationAttrs))
+	for i, a := range CitationAttrs {
+		preds[i] = dataset.IsNull{Attr: repFeature(a)}
+	}
+	q, err := query.NewWCQ(preds, t.req())
+	if err != nil {
+		return nil, err
+	}
+	ans, err := t.Engine.Ask(q)
+	if err != nil {
+		return nil, err
+	}
+	type pair struct {
+		attr  string
+		nulls float64
+	}
+	ps := make([]pair, len(CitationAttrs))
+	for i, a := range CitationAttrs {
+		ps[i] = pair{a, ans.Counts[i]}
+	}
+	sort.SliceStable(ps, func(i, j int) bool { return ps[i].nulls < ps[j].nulls })
+	n := t.Cleaner.NumAttrs
+	if n > len(ps) {
+		n = len(ps)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = ps[i].attr
+	}
+	return out, nil
+}
+
+// chooseAttrsTCQ is q1' of BS2/MS2: a top-k query for the attributes with
+// the most non-null values (equivalently the fewest nulls).
+func (t *Task) chooseAttrsTCQ() ([]string, error) {
+	preds := make([]dataset.Predicate, len(CitationAttrs))
+	for i, a := range CitationAttrs {
+		preds[i] = dataset.Not{P: dataset.IsNull{Attr: repFeature(a)}}
+	}
+	k := t.Cleaner.NumAttrs
+	if k > len(preds) {
+		k = len(preds)
+	}
+	q, err := query.NewTCQ(preds, k, t.req())
+	if err != nil {
+		return nil, err
+	}
+	ans, err := t.Engine.Ask(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i, sel := range ans.Selected {
+		if sel {
+			out = append(out, CitationAttrs[i])
+		}
+	}
+	return out, nil
+}
+
+// labelCounts asks one WCQ for the (noisy) number of MATCH and NON-MATCH
+// rows — the strategies' starting totals.
+func (t *Task) labelCounts() (matches, nonMatches float64, err error) {
+	preds := []dataset.Predicate{
+		dataset.StrEq{Attr: "label", Val: "MATCH"},
+		dataset.StrEq{Attr: "label", Val: "NON-MATCH"},
+	}
+	q, err := query.NewWCQ(preds, t.req())
+	if err != nil {
+		return 0, 0, err
+	}
+	ans, err := t.Engine.Ask(q)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := t.Cleaner.AdjustNoisy(ans.Counts[0], t.Alpha)
+	n := t.Cleaner.AdjustNoisy(ans.Counts[1], t.Alpha)
+	return clampNonNeg(m), clampNonNeg(n), nil
+}
+
+// RunBS1 executes blocking strategy 1 (Figure 8a): WCQ-only exploration
+// that grows a disjunction O of similarity predicates. It stops when the
+// engine denies a query (budget exhausted) or candidates run out; the DNF
+// built so far is always returned.
+func RunBS1(t *Task) (DNF, error) {
+	attrs, err := t.chooseAttrsWCQ()
+	if err != nil {
+		return nil, ignoreDenial(err)
+	}
+	return t.blockingLoop(attrs, t.blockCandidateWCQ)
+}
+
+// RunBS2 executes blocking strategy 2 (Figure 8b): attribute choice via
+// TCQ, per-candidate checks via ICQ.
+func RunBS2(t *Task) (DNF, error) {
+	attrs, err := t.chooseAttrsTCQ()
+	if err != nil {
+		return nil, ignoreDenial(err)
+	}
+	return t.blockingLoop(attrs, t.blockCandidateICQ)
+}
+
+// blockCandidate evaluates one candidate; it returns whether to accept,
+// and estimated caught match/non-match counts for bookkeeping.
+type blockCandidate func(o DNF, p SimPredicate, remM, remN float64) (accept bool, caughtM, caughtN float64, err error)
+
+func (t *Task) blockingLoop(attrs []string, check blockCandidate) (DNF, error) {
+	remM, remN, err := t.labelCounts()
+	if err != nil {
+		return nil, ignoreDenial(err)
+	}
+	cutoff := t.Cleaner.BlockingCostCutoff * float64(t.Table.Size())
+	var o DNF
+	var captured float64
+	minCatch, maxCatch := t.Cleaner.MinMatchCaught, t.Cleaner.MaxNonMatchCaught
+	candidates := t.Cleaner.CandidatePredicates(attrs)
+	for round := 0; round < 3; round++ {
+		for _, p := range candidates {
+			if remM <= t.Alpha/5 {
+				return o, nil // essentially all matches captured
+			}
+			accept, cm, cn, err := check(o, p, remM*minCatch, remN*maxCatch)
+			if err != nil {
+				return o, ignoreDenial(err)
+			}
+			if !accept {
+				continue
+			}
+			if captured+cm+cn > cutoff {
+				continue // would blow the blocking-cost budget
+			}
+			o = append(o, p)
+			captured += cm + cn
+			remM = clampNonNeg(remM - cm)
+			remN = clampNonNeg(remN - cn)
+		}
+		if len(o) > 0 {
+			return o, nil
+		}
+		// All candidates rejected with an empty O: relax the criteria (x10).
+		minCatch /= t.Cleaner.Relax
+		maxCatch *= t.Cleaner.Relax
+	}
+	return o, nil
+}
+
+// blockCandidateWCQ is BS1's q5a/q5b pair, posed as a single two-predicate
+// WCQ: counts of remaining matches and non-matches caught by p.
+func (t *Task) blockCandidateWCQ(o DNF, p SimPredicate, needM, allowN float64) (bool, float64, float64, error) {
+	notO := dataset.Not{P: o.Predicate()}
+	preds := []dataset.Predicate{
+		dataset.And{notO, p.Predicate(), dataset.StrEq{Attr: "label", Val: "MATCH"}},
+		dataset.And{notO, p.Predicate(), dataset.StrEq{Attr: "label", Val: "NON-MATCH"}},
+	}
+	q, err := query.NewWCQ(preds, t.req())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ans, err := t.Engine.Ask(q)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	cm := clampNonNeg(t.Cleaner.AdjustNoisy(ans.Counts[0], t.Alpha))
+	cn := clampNonNeg(t.Cleaner.AdjustNoisy(ans.Counts[1], t.Alpha))
+	accept := cm > needM && cn < allowN
+	return accept, cm, cn, nil
+}
+
+// blockCandidateICQ is BS2's q5a'/q5b': two single-predicate ICQs. The
+// match test asks whether p catches more than the required fraction of the
+// remaining matches; the non-match test asks whether p leaves uncaught more
+// than (1 - allowed fraction) of the remaining non-matches.
+func (t *Task) blockCandidateICQ(o DNF, p SimPredicate, needM, allowN float64) (bool, float64, float64, error) {
+	notO := dataset.Not{P: o.Predicate()}
+	matchPred := dataset.And{notO, p.Predicate(), dataset.StrEq{Attr: "label", Val: "MATCH"}}
+	qa, err := query.NewICQ([]dataset.Predicate{matchPred}, clampNonNeg(needM), t.req())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ansA, err := t.Engine.Ask(qa)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if !ansA.Selected[0] {
+		return false, 0, 0, nil
+	}
+	// Non-matches NOT caught by p must exceed remN - allowN (i.e. p catches
+	// fewer than the allowed number). Note Figure 8b words this with the
+	// complement predicate; this is the semantically equivalent form.
+	remNonCaught := dataset.And{notO, dataset.Not{P: p.Predicate()}, dataset.StrEq{Attr: "label", Val: "NON-MATCH"}}
+	// threshold: remaining non-matches minus the allowance. We estimate the
+	// remaining count from the bookkeeping the caller maintains via
+	// needM/allowN, which encode remM·x8 and remN·x9.
+	thresholdN := clampNonNeg(allowN / t.Cleaner.MaxNonMatchCaught * (1 - t.Cleaner.MaxNonMatchCaught))
+	qb, err := query.NewICQ([]dataset.Predicate{remNonCaught}, thresholdN, t.req())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ansB, err := t.Engine.Ask(qb)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if !ansB.Selected[0] {
+		return false, 0, 0, nil
+	}
+	// ICQ reveals membership only: bookkeeping estimates the caught
+	// matches by the passed threshold and the caught non-matches by half
+	// the allowance (the criterion guarantees they are below allowN).
+	return true, needM, allowN / 2, nil
+}
+
+// RunMS1 executes matching strategy 1 (Figure 9a): WCQ-only exploration
+// growing a conjunction of similarity predicates.
+func RunMS1(t *Task) (CNF, error) {
+	attrs, err := t.chooseAttrsWCQ()
+	if err != nil {
+		return nil, ignoreDenial(err)
+	}
+	return t.matchingLoop(attrs, t.matchCandidateWCQ)
+}
+
+// RunMS2 executes matching strategy 2 (Figure 9b): ICQ/TCQ exploration.
+func RunMS2(t *Task) (CNF, error) {
+	attrs, err := t.chooseAttrsTCQ()
+	if err != nil {
+		return nil, ignoreDenial(err)
+	}
+	return t.matchingLoop(attrs, t.matchCandidateICQ)
+}
+
+type matchCandidate func(o CNF, p SimPredicate, capM, capN float64) (accept bool, keptM, keptN float64, err error)
+
+func (t *Task) matchingLoop(attrs []string, check matchCandidate) (CNF, error) {
+	capM, capN, err := t.labelCounts()
+	if err != nil {
+		return nil, ignoreDenial(err)
+	}
+	var o CNF
+	for _, p := range t.Cleaner.CandidatePredicates(attrs) {
+		if capN <= t.Alpha/5 {
+			return o, nil // all non-matches pruned: matcher is done
+		}
+		accept, km, kn, err := check(o, p, capM, capN)
+		if err != nil {
+			return o, ignoreDenial(err)
+		}
+		if !accept {
+			continue
+		}
+		o = append(o, p)
+		capM, capN = clampNonNeg(km), clampNonNeg(kn)
+	}
+	return o, nil
+}
+
+// matchCandidateWCQ is MS1's q5a/q5b: counts of captured matches and
+// non-matches that survive adding p to the conjunction.
+func (t *Task) matchCandidateWCQ(o CNF, p SimPredicate, capM, capN float64) (bool, float64, float64, error) {
+	oPred := o.Predicate()
+	preds := []dataset.Predicate{
+		dataset.And{oPred, p.Predicate(), dataset.StrEq{Attr: "label", Val: "MATCH"}},
+		dataset.And{oPred, p.Predicate(), dataset.StrEq{Attr: "label", Val: "NON-MATCH"}},
+	}
+	q, err := query.NewWCQ(preds, t.req())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ans, err := t.Engine.Ask(q)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	keptM := clampNonNeg(t.Cleaner.AdjustNoisy(ans.Counts[0], t.Alpha))
+	keptN := clampNonNeg(t.Cleaner.AdjustNoisy(ans.Counts[1], t.Alpha))
+	prunedM, prunedN := 1.0, 1.0
+	if capM > 0 {
+		prunedM = 1 - keptM/capM
+	}
+	if capN > 0 {
+		prunedN = 1 - keptN/capN
+	}
+	accept := prunedM < t.Cleaner.MaxPruneMatch && prunedN > t.Cleaner.MinPruneNonMatch
+	return accept, keptM, keptN, nil
+}
+
+// matchCandidateICQ is MS2's q5a'/q5b': membership tests on how much p
+// would prune.
+func (t *Task) matchCandidateICQ(o CNF, p SimPredicate, capM, capN float64) (bool, float64, float64, error) {
+	oPred := o.Predicate()
+	notP := dataset.Not{P: p.Predicate()}
+	// q5a': does p prune more than the allowed fraction of captured matches?
+	prunedMatches := dataset.And{oPred, notP, dataset.StrEq{Attr: "label", Val: "MATCH"}}
+	qa, err := query.NewICQ([]dataset.Predicate{prunedMatches}, clampNonNeg(t.Cleaner.MaxPruneMatch*capM), t.req())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ansA, err := t.Engine.Ask(qa)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if ansA.Selected[0] {
+		return false, 0, 0, nil // prunes too many matches
+	}
+	// q5b': does p prune at least the required fraction of captured
+	// non-matches?
+	prunedNon := dataset.And{oPred, notP, dataset.StrEq{Attr: "label", Val: "NON-MATCH"}}
+	qb, err := query.NewICQ([]dataset.Predicate{prunedNon}, clampNonNeg(t.Cleaner.MinPruneNonMatch*capN), t.req())
+	if err != nil {
+		return false, 0, 0, err
+	}
+	ansB, err := t.Engine.Ask(qb)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	if !ansB.Selected[0] {
+		return false, 0, 0, nil
+	}
+	return true, capM * (1 - t.Cleaner.MaxPruneMatch), capN * (1 - t.Cleaner.MinPruneNonMatch), nil
+}
+
+// ignoreDenial converts a budget denial into a clean stop (the strategy
+// returns whatever it has built); other errors propagate.
+func ignoreDenial(err error) error {
+	if errors.Is(err, engine.ErrDenied) {
+		return nil
+	}
+	return fmt.Errorf("er: %w", err)
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/er"
+	"repro/internal/noise"
+)
+
+// StrategyName identifies one of the four case-study strategies.
+type StrategyName string
+
+// The four exploration strategies of §8.
+const (
+	BS1 StrategyName = "BS1"
+	BS2 StrategyName = "BS2"
+	MS1 StrategyName = "MS1"
+	MS2 StrategyName = "MS2"
+)
+
+// AllStrategies lists the strategies in report order.
+var AllStrategies = []StrategyName{BS1, BS2, MS1, MS2}
+
+// erQuality runs one strategy once and returns its task quality (recall for
+// blocking, F1 for matching).
+func erQuality(name StrategyName, task *er.Task) (float64, error) {
+	switch name {
+	case BS1:
+		block, err := er.RunBS1(task)
+		if err != nil {
+			return 0, err
+		}
+		recall, _ := er.BlockingQuality(task.Table, block)
+		return recall, nil
+	case BS2:
+		block, err := er.RunBS2(task)
+		if err != nil {
+			return 0, err
+		}
+		recall, _ := er.BlockingQuality(task.Table, block)
+		return recall, nil
+	case MS1:
+		match, err := er.RunMS1(task)
+		if err != nil {
+			return 0, err
+		}
+		_, _, f1 := er.MatchingQuality(task.Table, match)
+		return f1, nil
+	case MS2:
+		match, err := er.RunMS2(task)
+		if err != nil {
+			return 0, err
+		}
+		_, _, f1 := er.MatchingQuality(task.Table, match)
+		return f1, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown strategy %q", name)
+	}
+}
+
+// caseStudyRun executes one strategy ERRuns times at the given budget and
+// alpha fraction, returning quality quartiles.
+func (c Config) caseStudyRun(ft *dataset.Table, name StrategyName, budget, alphaFrac float64, seed int64) (q1, med, q3 float64, err error) {
+	var quals []float64
+	cleanerRng := rand.New(rand.NewSource(seed))
+	for run := 0; run < c.ERRuns; run++ {
+		eng, err := engine.New(ft, engine.Config{
+			Budget: budget,
+			Mode:   engine.Optimistic,
+			Rng:    noise.NewRand(seed + int64(run)*7919),
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		task := &er.Task{
+			Table:   ft,
+			Engine:  eng,
+			Cleaner: er.SampleCleaner(cleanerRng),
+			Alpha:   alphaFrac * float64(ft.Size()),
+			Beta:    Beta,
+		}
+		q, err := erQuality(name, task)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		quals = append(quals, q)
+	}
+	sort.Float64s(quals)
+	n := len(quals)
+	return quals[n/4], quals[n/2], quals[3*n/4], nil
+}
+
+// featureTable builds the case-study feature table for n pairs.
+func (c Config) featureTable(n int) *dataset.Table {
+	pairs := er.GenerateCitations(er.CitationsConfig{Pairs: n, Seed: c.Seed + 50})
+	return er.FeatureTable(pairs)
+}
+
+// Figure5 reproduces the budget sweep: task quality of the four strategies
+// as the owner budget B grows, at fixed α = 0.08|D|.
+func Figure5(cfg Config) error {
+	cfg = cfg.norm()
+	w := cfg.out()
+	ft := cfg.featureTable(cfg.ERPairs)
+	fmt.Fprintf(w, "# Figure 5: task quality vs privacy budget B (|D|=%d, alpha=0.08|D|)\n", ft.Size())
+	fmt.Fprintln(w, "strategy\tB\tq1\tmedian\tq3")
+	for _, name := range AllStrategies {
+		for _, b := range []float64{0.1, 0.2, 0.5, 1, 1.5, 2} {
+			q1, med, q3, err := cfg.caseStudyRun(ft, name, b, 0.08, cfg.Seed+500)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.3f\t%.3f\n", name, b, q1, med, q3)
+		}
+	}
+	return nil
+}
+
+// Figure6 reproduces the accuracy sweep: task quality at fixed B = 1 as the
+// per-query accuracy requirement α varies.
+func Figure6(cfg Config) error {
+	cfg = cfg.norm()
+	w := cfg.out()
+	ft := cfg.featureTable(cfg.ERPairs)
+	fmt.Fprintf(w, "# Figure 6: task quality vs alpha (|D|=%d, B=1)\n", ft.Size())
+	fmt.Fprintln(w, "strategy\talpha/|D|\tq1\tmedian\tq3")
+	for _, name := range AllStrategies {
+		for _, af := range AlphaFractions {
+			q1, med, q3, err := cfg.caseStudyRun(ft, name, 1.0, af, cfg.Seed+600)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\t%.2f\t%.3f\t%.3f\t%.3f\n", name, af, q1, med, q3)
+		}
+	}
+	return nil
+}
+
+// Figure7 reproduces the data-size study: the blocking strategies at
+// |D| = 1000 under both the budget sweep and the alpha sweep.
+func Figure7(cfg Config) error {
+	cfg = cfg.norm()
+	w := cfg.out()
+	small := cfg.ERPairs / 2
+	if small < 200 {
+		small = 200
+	}
+	ft := cfg.featureTable(small)
+	fmt.Fprintf(w, "# Figure 7: blocking at smaller data size (|D|=%d)\n", ft.Size())
+	fmt.Fprintln(w, "strategy\tsweep\tvalue\tq1\tmedian\tq3")
+	for _, name := range []StrategyName{BS1, BS2} {
+		// Smaller data needs a larger budget to reach the same quality
+		// (the paper's Figure 7 message), so the sweep extends further.
+		for _, b := range []float64{0.5, 1, 1.5, 2, 3, 4} {
+			q1, med, q3, err := cfg.caseStudyRun(ft, name, b, 0.08, cfg.Seed+700)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\tB\t%.1f\t%.3f\t%.3f\t%.3f\n", name, b, q1, med, q3)
+		}
+		for _, af := range AlphaFractions {
+			q1, med, q3, err := cfg.caseStudyRun(ft, name, 1.0, af, cfg.Seed+800)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s\talpha\t%.2f\t%.3f\t%.3f\t%.3f\n", name, af, q1, med, q3)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func TestBenchmarkDefinitions(t *testing.T) {
+	qs, err := Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 12 {
+		t.Fatalf("want 12 queries, got %d", len(qs))
+	}
+	wantKinds := map[string]query.Kind{
+		"QW1": query.WCQ, "QW2": query.WCQ, "QW3": query.WCQ, "QW4": query.WCQ,
+		"QI1": query.ICQ, "QI2": query.ICQ, "QI3": query.ICQ, "QI4": query.ICQ,
+		"QT1": query.TCQ, "QT2": query.TCQ, "QT3": query.TCQ, "QT4": query.TCQ,
+	}
+	for _, b := range qs {
+		if b.Kind != wantKinds[b.Name] {
+			t.Errorf("%s kind %v", b.Name, b.Kind)
+		}
+		if len(b.Preds) != 100 {
+			t.Errorf("%s has %d predicates, want 100", b.Name, len(b.Preds))
+		}
+		q, err := b.Bind(10000, 0.08, Beta)
+		if err != nil {
+			t.Errorf("%s bind: %v", b.Name, err)
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s validate: %v", b.Name, err)
+		}
+	}
+}
+
+func TestBenchmarkSensitivities(t *testing.T) {
+	// The sensitivity structure drives the whole evaluation: QW1 (disjoint
+	// bins) has sensitivity 1, QW2 (prefix) has sensitivity L, QT2/QT4
+	// (multi-attribute) have sensitivity > 1.
+	cfg := Quick()
+	adult, taxi := cfg.datasets()
+	qs, err := Benchmark()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"QW1": 1, "QW2": 100, "QW3": 1, "QW4": 1,
+		"QI1": 100, "QI2": 1, "QI3": 1, "QI4": 1,
+		"QT1": 1, "QT3": 1,
+	}
+	for _, b := range qs {
+		d := cfg.tableFor(b, adult, taxi)
+		tr, err := workload.Transform(d.Schema(), b.Preds, workload.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if w, ok := want[b.Name]; ok {
+			if tr.Sensitivity() != w {
+				t.Errorf("%s sensitivity = %v, want %v", b.Name, tr.Sensitivity(), w)
+			}
+		} else if tr.Sensitivity() <= 1 {
+			// QT2/QT4 span many attributes: sensitivity must exceed 1.
+			t.Errorf("%s sensitivity = %v, want > 1", b.Name, tr.Sensitivity())
+		}
+	}
+}
+
+func TestFigure2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Quick()
+	cfg.Out = &buf
+	if err := Figure2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 12 queries × 7 alphas = 84 data rows.
+	if got := strings.Count(out, "\n") - 2; got != 84 {
+		t.Fatalf("want 84 rows, got %d:\n%s", got, out)
+	}
+	for _, q := range []string{"QW1", "QI2", "QT4"} {
+		if !strings.Contains(out, q) {
+			t.Fatalf("missing %s", q)
+		}
+	}
+}
+
+func TestFigure3Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Quick()
+	cfg.Out = &buf
+	if err := Figure3(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "QI4") || !strings.Contains(buf.String(), "QT1") {
+		t.Fatalf("missing queries:\n%s", buf.String())
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	cfg := Quick()
+	cfg.Out = &buf
+	if err := Table2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Key qualitative claims: ICQ rows include all three ICQ mechanisms;
+	// TCQ rows include both LM and LTM.
+	for _, want := range []string{"ICQ-LM", "ICQ-SM-h2", "ICQ-MPM", "TCQ-LM", "TCQ-LTM", "WCQ-SM-h2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s in table 2 output:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Quick()
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	if err := Figure4a(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure4b(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure4c(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 4a", "Figure 4b", "Figure 4c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Quick()
+	cfg.ERRuns = 2
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	if err := Figure5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, s := range []string{"BS1", "BS2", "MS1", "MS2"} {
+		if !strings.Contains(out, s) {
+			t.Fatalf("missing %s:\n%s", s, out)
+		}
+	}
+}
+
+func TestConfigNorm(t *testing.T) {
+	var c Config
+	n := c.norm()
+	if n.AdultSize == 0 || n.Runs == 0 || n.ERPairs == 0 {
+		t.Fatalf("norm did not fill defaults: %+v", n)
+	}
+	if Paper().TaxiSize != 9710124 {
+		t.Fatal("paper config must use full taxi size")
+	}
+}

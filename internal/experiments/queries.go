@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// BenchQuery is one row of Table 1: a named benchmark query template bound
+// to a dataset. The accuracy requirement is attached per experiment.
+type BenchQuery struct {
+	Name    string
+	Kind    query.Kind
+	Dataset string // "adult" or "nytaxi"
+	// Build returns the workload predicates. thresholdFrac (ICQ) and k
+	// (TCQ) are bound by Bind.
+	Preds []dataset.Predicate
+	// ThresholdFrac is the ICQ threshold as a fraction of |D| (paper: 0.1).
+	ThresholdFrac float64
+	// K is the TCQ limit (paper: 10).
+	K int
+}
+
+// Bind instantiates the template into a runnable query for a table of the
+// given size with accuracy (alphaFrac·|D|, Beta).
+func (b BenchQuery) Bind(tableSize int, alphaFrac, beta float64) (*query.Query, error) {
+	req := reqFor(tableSize, alphaFrac, beta)
+	switch b.Kind {
+	case query.WCQ:
+		return query.NewWCQ(b.Preds, req)
+	case query.ICQ:
+		return query.NewICQ(b.Preds, b.ThresholdFrac*float64(tableSize), req)
+	case query.TCQ:
+		return query.NewTCQ(b.Preds, b.K, req)
+	default:
+		return nil, fmt.Errorf("experiments: unknown kind %v", b.Kind)
+	}
+}
+
+// Benchmark returns the paper's 12 exploration queries (Table 1).
+func Benchmark() ([]BenchQuery, error) {
+	var out []BenchQuery
+
+	// QW1: Adult capital-gain histogram, 100 bins of width 50.
+	qw1, err := workload.Histogram1D("capital gain", 0, 5000, 50)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BenchQuery{Name: "QW1", Kind: query.WCQ, Dataset: "adult", Preds: qw1})
+
+	// QW2: Adult capital-gain cumulative histogram (prefix workload).
+	qw2, err := workload.Prefix1D("capital gain", 0, 5000, 50)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BenchQuery{Name: "QW2", Kind: query.WCQ, Dataset: "adult", Preds: qw2})
+
+	// QW3: NYTaxi trip-distance histogram, 100 bins of width 0.1.
+	qw3, err := workload.Histogram1D("trip distance", 0, 10, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BenchQuery{Name: "QW3", Kind: query.WCQ, Dataset: "nytaxi", Preds: qw3})
+
+	// QW4: NYTaxi 2-D histogram (total amount bin × passenger count).
+	var qw4 []dataset.Predicate
+	for b := 0.0; b < 10; b++ {
+		for p := 1.0; p <= 10; p++ {
+			qw4 = append(qw4, dataset.And{
+				dataset.Range{Attr: "total amount", Lo: b, Hi: b + 1},
+				dataset.NumCmp{Attr: "passenger count", Op: dataset.Eq, C: p},
+			})
+		}
+	}
+	out = append(out, BenchQuery{Name: "QW4", Kind: query.WCQ, Dataset: "nytaxi", Preds: qw4})
+
+	// QI1: Adult capital-gain prefix workload with a HAVING threshold.
+	qi1, err := workload.Prefix1D("capital gain", 0, 5000, 50)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BenchQuery{Name: "QI1", Kind: query.ICQ, Dataset: "adult", Preds: qi1, ThresholdFrac: 0.1})
+
+	// QI2: Adult (capital-gain bin × sex) iceberg query, 50 bins × 2.
+	var qi2 []dataset.Predicate
+	for b := 0.0; b < 5000; b += 100 {
+		for _, sex := range datagen.AdultSexes {
+			qi2 = append(qi2, dataset.And{
+				dataset.Range{Attr: "capital gain", Lo: b, Hi: b + 100},
+				dataset.StrEq{Attr: "sex", Val: sex},
+			})
+		}
+	}
+	out = append(out, BenchQuery{Name: "QI2", Kind: query.ICQ, Dataset: "adult", Preds: qi2, ThresholdFrac: 0.1})
+
+	// QI3: NYTaxi fare-amount bins.
+	qi3, err := workload.Histogram1D("fare amount", 0, 10, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BenchQuery{Name: "QI3", Kind: query.ICQ, Dataset: "nytaxi", Preds: qi3, ThresholdFrac: 0.1})
+
+	// QI4: NYTaxi total-amount bins.
+	qi4, err := workload.Histogram1D("total amount", 0, 10, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, BenchQuery{Name: "QI4", Kind: query.ICQ, Dataset: "nytaxi", Preds: qi4, ThresholdFrac: 0.1})
+
+	// QT1: Adult top-10 ages (point predicates age = 0..99).
+	ages := make([]float64, 100)
+	for i := range ages {
+		ages[i] = float64(i)
+	}
+	out = append(out, BenchQuery{Name: "QT1", Kind: query.TCQ, Dataset: "adult", Preds: workload.PointPredicates("age", ages), K: 10})
+
+	// QT2: Adult 100 predicates spread over many attributes.
+	out = append(out, BenchQuery{Name: "QT2", Kind: query.TCQ, Dataset: "adult", Preds: adultMultiAttr(), K: 10})
+
+	// QT3: NYTaxi (PUID, DOID) zone grid.
+	var qt3 []dataset.Predicate
+	for pu := 1.0; pu <= 10; pu++ {
+		for do := 1.0; do <= 10; do++ {
+			qt3 = append(qt3, dataset.And{
+				dataset.NumCmp{Attr: "PUID", Op: dataset.Eq, C: pu},
+				dataset.NumCmp{Attr: "DOID", Op: dataset.Eq, C: do},
+			})
+		}
+	}
+	out = append(out, BenchQuery{Name: "QT3", Kind: query.TCQ, Dataset: "nytaxi", Preds: qt3, K: 10})
+
+	// QT4: NYTaxi 100 predicates over many attributes.
+	out = append(out, BenchQuery{Name: "QT4", Kind: query.TCQ, Dataset: "nytaxi", Preds: taxiMultiAttr(), K: 10})
+
+	return out, nil
+}
+
+// adultMultiAttr builds QT2's 100 predicates across 8 Adult attributes, so
+// a single tuple can satisfy up to 8 of them (high sensitivity relative to
+// QT1's disjoint bins).
+func adultMultiAttr() []dataset.Predicate {
+	var out []dataset.Predicate
+	for i := 0; i < 10; i++ { // 10 ages
+		out = append(out, dataset.NumCmp{Attr: "age", Op: dataset.Eq, C: float64(25 + i)})
+	}
+	for i := 0; i < 10; i++ { // 10 hours
+		out = append(out, dataset.NumCmp{Attr: "hours per week", Op: dataset.Eq, C: float64(31 + i)})
+	}
+	for i := 0; i < 16; i++ { // all education nums
+		out = append(out, dataset.NumCmp{Attr: "education num", Op: dataset.Eq, C: float64(1 + i)})
+	}
+	for i := 0; i < 10; i++ { // capital-gain decades
+		out = append(out, dataset.Range{Attr: "capital gain", Lo: float64(i * 500), Hi: float64((i + 1) * 500)})
+	}
+	for _, v := range datagen.AdultWorkclasses { // 8
+		out = append(out, dataset.StrEq{Attr: "workclass", Val: v})
+	}
+	for _, v := range datagen.AdultEducations { // 16
+		out = append(out, dataset.StrEq{Attr: "education", Val: v})
+	}
+	for _, v := range datagen.AdultMaritalStatuses { // 7
+		out = append(out, dataset.StrEq{Attr: "marital status", Val: v})
+	}
+	for _, v := range datagen.AdultOccupations { // 14
+		out = append(out, dataset.StrEq{Attr: "occupation", Val: v})
+	}
+	for _, v := range datagen.AdultRelationships[:5] { // top up to 96
+		out = append(out, dataset.StrEq{Attr: "relationship", Val: v})
+	}
+	for _, v := range datagen.AdultRaces[:4] { // top up to 100
+		out = append(out, dataset.StrEq{Attr: "race", Val: v})
+	}
+	return out[:100]
+}
+
+// taxiMultiAttr builds QT4's 100 predicates across 6 taxi attributes.
+func taxiMultiAttr() []dataset.Predicate {
+	var out []dataset.Predicate
+	for d := 1.0; d <= 31; d++ { // 31 pickup dates
+		out = append(out, dataset.NumCmp{Attr: "pickup date", Op: dataset.Eq, C: d})
+	}
+	for h := 0.0; h <= 23; h++ { // 24 hours
+		out = append(out, dataset.NumCmp{Attr: "pickup hour", Op: dataset.Eq, C: h})
+	}
+	for p := 1.0; p <= 10; p++ { // 10 passenger counts
+		out = append(out, dataset.NumCmp{Attr: "passenger count", Op: dataset.Eq, C: p})
+	}
+	for i := 0; i < 10; i++ { // 10 distance bins
+		out = append(out, dataset.Range{Attr: "trip distance", Lo: float64(i), Hi: float64(i + 1)})
+	}
+	for i := 0; i < 19; i++ { // 19 fare bins
+		out = append(out, dataset.Range{Attr: "fare amount", Lo: float64(i * 2), Hi: float64((i + 1) * 2)})
+	}
+	for _, v := range datagen.TaxiPaymentTypes { // 4
+		out = append(out, dataset.StrEq{Attr: "payment type", Val: v})
+	}
+	for _, v := range datagen.TaxiVendors { // 2
+		out = append(out, dataset.StrEq{Attr: "vendor", Val: v})
+	}
+	return out[:100]
+}

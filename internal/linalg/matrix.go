@@ -1,0 +1,365 @@
+// Package linalg provides the small dense linear-algebra kernel APEx needs:
+// matrix/vector products, Gaussian-elimination inverses, Moore–Penrose
+// pseudoinverses, and the matrix norms that appear in the accuracy-to-privacy
+// translation formulas (the L1 column norm is the sensitivity of a workload,
+// the Frobenius norm bounds strategy-mechanism error).
+//
+// Matrices are dense row-major float64. Everything is implemented from
+// scratch on the standard library; sizes in APEx are small (a few hundred
+// rows/columns), so cubic algorithms are fine.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrSingular is returned when an inverse of a singular matrix is requested.
+var ErrSingular = errors.New("linalg: matrix is singular")
+
+// ErrShape is returned when operand dimensions do not conform.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// NewMatrix returns a zero rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices. All rows must have the
+// same length.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*out.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.data[i*m.cols : (i+1)*m.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x as a new vector.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d · vec(%d)", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// MulVecInto computes m·x into dst (len(dst) must equal m.Rows()).
+// It avoids allocation on hot paths such as Monte-Carlo translation.
+func (m *Matrix) MulVecInto(dst, x []float64) error {
+	if m.cols != len(x) || m.rows != len(dst) {
+		return ErrShape
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// Scale multiplies every entry by s in place and returns the receiver.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+	return m
+}
+
+// Add returns m + b.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, ErrShape
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// L1Norm returns the maximum column L1 norm (max_j Σ_i |a_ij|). For a query
+// matrix this equals the sensitivity of the workload (paper §5.1).
+func (m *Matrix) L1Norm() float64 {
+	var best float64
+	for j := 0; j < m.cols; j++ {
+		var s float64
+		for i := 0; i < m.rows; i++ {
+			s += math.Abs(m.data[i*m.cols+j])
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// FrobeniusNorm returns sqrt(ΣΣ a_ij²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns max |a_ij|, or 0 for an empty matrix.
+func (m *Matrix) MaxAbs() float64 {
+	var best float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Equal reports whether m and b have the same shape and entries within tol.
+func (m *Matrix) Equal(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := range m.data {
+		if math.Abs(m.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%g", m.data[i*m.cols+j])
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Inverse returns the inverse of a square matrix via Gauss–Jordan
+// elimination with partial pivoting.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("%w: inverse of %dx%d", ErrShape, m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest |a[r][col]| for r >= col.
+		pivot := col
+		best := math.Abs(a.data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.data[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		p := a.data[col*n+col]
+		for j := 0; j < n; j++ {
+			a.data[col*n+j] /= p
+			inv.data[col*n+j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.data[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.data[r*n+j] -= f * a.data[col*n+j]
+				inv.data[r*n+j] -= f * inv.data[col*n+j]
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// PseudoInverse returns the Moore–Penrose pseudoinverse A⁺.
+//
+// For the strategy matrices APEx uses (identity, hierarchical H2) A has full
+// column rank, so A⁺ = (AᵀA)⁻¹Aᵀ. If AᵀA is singular the routine falls back
+// to ridge-regularized inversion with a tiny λ, which yields an approximate
+// pseudoinverse adequate for reconstruction matrices.
+func (m *Matrix) PseudoInverse() (*Matrix, error) {
+	at := m.T()
+	ata, err := at.Mul(m)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := ata.Inverse()
+	if err != nil {
+		if !errors.Is(err, ErrSingular) {
+			return nil, err
+		}
+		// Ridge fallback: (AᵀA + λI)⁻¹Aᵀ with λ scaled to the matrix.
+		lambda := 1e-10 * (1 + ata.MaxAbs())
+		reg := ata.Clone()
+		for i := 0; i < reg.rows; i++ {
+			reg.data[i*reg.cols+i] += lambda
+		}
+		inv, err = reg.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("linalg: pseudoinverse failed: %w", err)
+		}
+	}
+	return inv.Mul(at)
+}
+
+// LInfNorm returns max_i |x_i| of a vector, or 0 for an empty vector.
+func LInfNorm(x []float64) float64 {
+	var best float64
+	for _, v := range x {
+		if a := math.Abs(v); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
+// Sub returns a-b element-wise for vectors.
+func Sub(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, ErrShape
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out, nil
+}

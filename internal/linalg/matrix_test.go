@@ -1,0 +1,374 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatrix(t *testing.T, rows [][]float64) *Matrix {
+	t.Helper()
+	m, err := NewMatrixFromRows(rows)
+	if err != nil {
+		t.Fatalf("NewMatrixFromRows: %v", err)
+	}
+	return m
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestNewMatrixFromRowsEmpty(t *testing.T) {
+	m, err := NewMatrixFromRows(nil)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("want 0x0, got %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	y, err := id.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity changed vector at %d: %v", i, y)
+		}
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 2)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	b := mustMatrix(t, [][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustMatrix(t, [][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("bad shape %dx%d", at.Rows(), at.Cols())
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustMatrix(t, [][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !inv.Equal(want, 1e-12) {
+		t.Fatalf("got %v want %v", inv, want)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Inverse(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := a.Inverse(); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestInverseRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			// Diagonal dominance keeps the matrix comfortably nonsingular.
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		prod, err := a.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.Equal(Identity(n), 1e-8) {
+			t.Fatalf("trial %d: A·A⁻¹ != I: %v", trial, prod)
+		}
+	}
+}
+
+func TestPseudoInverseFullColumnRank(t *testing.T) {
+	// Tall matrix with independent columns: A⁺A = I.
+	a := mustMatrix(t, [][]float64{{1, 0}, {0, 1}, {1, 1}})
+	pinv, err := a.PseudoInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := pinv.Mul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equal(Identity(2), 1e-9) {
+		t.Fatalf("A⁺A != I: %v", prod)
+	}
+}
+
+func TestPseudoInverseReconstruction(t *testing.T) {
+	// W rows must be reconstructable: W·A⁺·A = W for A spanning W's row space.
+	a := mustMatrix(t, [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}})
+	w := mustMatrix(t, [][]float64{{1, 1, 0}, {0, 1, 1}, {1, 1, 1}})
+	pinv, err := a.PseudoInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wap, err := w.Mul(pinv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := wap.Mul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(w, 1e-9) {
+		t.Fatalf("WA⁺A != W: %v", back)
+	}
+}
+
+func TestL1NormIsMaxColumnSum(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, -2}, {3, 0.5}})
+	if got := a.L1Norm(); got != 4 {
+		t.Fatalf("L1Norm = %v, want 4", got)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{3, 0}, {0, 4}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v, want 5", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{-7, 2}, {3, 4}})
+	if got := a.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}})
+	b := mustMatrix(t, [][]float64{{3, 4}})
+	sum, err := a.Clone().Scale(2).Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustMatrix(t, [][]float64{{5, 8}})
+	if !sum.Equal(want, 0) {
+		t.Fatalf("got %v want %v", sum, want)
+	}
+}
+
+func TestAddShapeMismatch(t *testing.T) {
+	if _, err := NewMatrix(1, 2).Add(NewMatrix(2, 1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestMulVecInto(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}, {3, 4}})
+	dst := make([]float64, 2)
+	if err := a.MulVecInto(dst, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 3 || dst[1] != 7 {
+		t.Fatalf("got %v", dst)
+	}
+	if err := a.MulVecInto(dst[:1], []float64{1, 1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	a := mustMatrix(t, [][]float64{{1, 2}})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) != 1 {
+		t.Fatal("Row must copy")
+	}
+	c := a.Clone()
+	c.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must copy")
+	}
+}
+
+func TestSubVec(t *testing.T) {
+	got, err := Sub([]float64{3, 5}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := Sub([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestLInfNorm(t *testing.T) {
+	if got := LInfNorm([]float64{1, -9, 3}); got != 9 {
+		t.Fatalf("got %v", got)
+	}
+	if got := LInfNorm(nil); got != 0 {
+		t.Fatalf("empty vector: got %v", got)
+	}
+}
+
+// Property: transposing twice is the identity.
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		cols := len(vals)%4 + 1
+		rows := len(vals) / cols
+		if rows == 0 {
+			return true
+		}
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, vals[i*cols+j])
+			}
+		}
+		return m.T().T().Equal(m, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: L1 norm is absolutely homogeneous: ‖cA‖₁ = |c|·‖A‖₁.
+func TestQuickL1Homogeneous(t *testing.T) {
+	f := func(a, b, c, d, s float64) bool {
+		if math.IsNaN(a+b+c+d+s) || math.IsInf(a+b+c+d+s, 0) {
+			return true
+		}
+		// Bound magnitudes so products stay finite.
+		clamp := func(x float64) float64 { return math.Mod(x, 1e6) }
+		a, b, c, d, s = clamp(a), clamp(b), clamp(c), clamp(d), clamp(s)
+		m, err := NewMatrixFromRows([][]float64{{a, b}, {c, d}})
+		if err != nil {
+			return false
+		}
+		lhs := m.Clone().Scale(s).L1Norm()
+		rhs := math.Abs(s) * m.L1Norm()
+		return math.Abs(lhs-rhs) <= 1e-6*(1+math.Abs(rhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random full-column-rank A, A⁺ satisfies the Penrose
+// condition A·A⁺·A = A.
+func TestQuickPenroseCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		rows := 3 + rng.Intn(5)
+		cols := 1 + rng.Intn(3)
+		a := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		pinv, err := a.PseudoInverse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ap, err := a.Mul(pinv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apa, err := ap.Mul(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !apa.Equal(a, 1e-7) {
+			t.Fatalf("trial %d: AA⁺A != A", trial)
+		}
+	}
+}
+
+func BenchmarkMulVec200(b *testing.B) {
+	m := NewMatrix(200, 200)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	dst := make([]float64, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.MulVecInto(dst, x)
+	}
+}
+
+func BenchmarkInverse100(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Inverse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/noise"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// MWEM is the Multiplicative Weights Exponential Mechanism of Hardt, Ligett
+// and McSherry — the data-dependent mechanism the paper names (§9, Appendix
+// D) as the natural next addition to APEx's suite. It answers a WCQ by
+// maintaining a synthetic histogram over the workload partitions: each
+// round the exponential mechanism privately selects the worst-approximated
+// query, measures it with Laplace noise, and multiplicative-weight updates
+// pull the synthetic histogram toward the measurement. All queries are then
+// answered from the synthetic histogram (free post-processing).
+//
+// Accuracy-to-privacy translation uses the HLM utility theorem
+//
+//	max error ≤ 2n·sqrt(ln|X|/T) + 10·T·ln L / ε
+//
+// which depends on the population size n. Because the translation must stay
+// data independent (the §6 privacy proof requires denial decisions not to
+// depend on D), MWEM takes a *public* population bound PublicN from the
+// data owner and is only applicable when it is set; when the representation
+// term 2N·sqrt(ln|X|/T) already exceeds α the mechanism reports itself
+// inapplicable for that accuracy. The theorem is an expected-error bound,
+// so unlike LM/SM the (α, β) guarantee here is heuristic — APEx in
+// pessimistic mode will only pick MWEM when its εu still undercuts the
+// exact mechanisms, which happens for very large workloads over small
+// domains.
+type MWEM struct {
+	// Rounds is T; 0 means DefaultMWEMRounds.
+	Rounds int
+	// PublicN is the owner-published bound on |D| the translation uses.
+	// MWEM is inapplicable while zero.
+	PublicN float64
+}
+
+// DefaultMWEMRounds is the default iteration count.
+const DefaultMWEMRounds = 10
+
+// Name implements Mechanism.
+func (MWEM) Name() string { return "MWEM" }
+
+func (m MWEM) rounds() int {
+	if m.Rounds <= 0 {
+		return DefaultMWEMRounds
+	}
+	return m.Rounds
+}
+
+// Applicable implements Mechanism: MWEM answers WCQ over materialized
+// workloads when a public population bound is configured.
+func (m MWEM) Applicable(q *query.Query, tr *workload.Transformed) bool {
+	return q.Kind == query.WCQ && tr.Materialized() && m.PublicN > 0
+}
+
+// Translate implements Mechanism via the HLM bound.
+func (m MWEM) Translate(q *query.Query, tr *workload.Transformed) (Cost, error) {
+	if !m.Applicable(q, tr) {
+		return Cost{}, notApplicable(m.Name(), q)
+	}
+	if err := q.Req.Validate(); err != nil {
+		return Cost{}, err
+	}
+	t := float64(m.rounds())
+	domain := float64(tr.NumPartitions())
+	l := float64(q.L())
+	repr := 2 * m.PublicN * math.Sqrt(math.Log(math.Max(domain, 2))/t)
+	if repr >= q.Req.Alpha {
+		return Cost{}, fmt.Errorf("%w: MWEM representation error %.4g exceeds alpha %.4g (raise Rounds or alpha)",
+			ErrNotApplicable, repr, q.Req.Alpha)
+	}
+	eps := 10 * t * math.Log(math.Max(l, 2)) / (q.Req.Alpha - repr)
+	if eps <= 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return Cost{}, fmt.Errorf("mechanism: MWEM translation produced invalid epsilon %v", eps)
+	}
+	return Cost{Lower: eps, Upper: eps}, nil
+}
+
+// Run implements Mechanism: the classic MWEM loop.
+func (m MWEM) Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand) (*Result, error) {
+	cost, err := m.Translate(q, tr)
+	if err != nil {
+		return nil, err
+	}
+	eps := cost.Upper
+	t := m.rounds()
+	perRound := eps / float64(t)
+
+	x, err := tr.Histogram(d)
+	if err != nil {
+		return nil, err
+	}
+	w := tr.Matrix()
+	trueAns, err := w.MulVec(x)
+	if err != nil {
+		return nil, err
+	}
+	n := m.PublicN
+
+	// Synthetic histogram: uniform mass n over the partitions.
+	parts := tr.NumPartitions()
+	syn := make([]float64, parts)
+	for i := range syn {
+		syn[i] = n / float64(parts)
+	}
+
+	for round := 0; round < t; round++ {
+		synAns, err := w.MulVec(syn)
+		if err != nil {
+			return nil, err
+		}
+		// Exponential mechanism over queries, score = |error|, sensitivity 1,
+		// privacy ε/(2T).
+		sel := exponentialSelect(rng, trueAns, synAns, perRound/2)
+		// Laplace measurement of the selected query, privacy ε/(2T).
+		meas := trueAns[sel] + noise.Laplace(rng, 2/perRound)
+		// Multiplicative weights update toward the measurement.
+		diff := meas - synAns[sel]
+		var total float64
+		for i := range syn {
+			syn[i] *= math.Exp(w.At(sel, i) * diff / (2 * n))
+			total += syn[i]
+		}
+		// Renormalize to mass n.
+		if total > 0 {
+			scale := n / total
+			for i := range syn {
+				syn[i] *= scale
+			}
+		}
+	}
+
+	out, err := w.MulVec(syn)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Counts: out, Epsilon: eps}, nil
+}
+
+// exponentialSelect draws a query index with probability proportional to
+// exp(ε·|error|/2) (score sensitivity 1).
+func exponentialSelect(rng *rand.Rand, trueAns, synAns []float64, eps float64) int {
+	scores := make([]float64, len(trueAns))
+	var maxScore float64
+	for i := range trueAns {
+		scores[i] = math.Abs(trueAns[i] - synAns[i])
+		if scores[i] > maxScore {
+			maxScore = scores[i]
+		}
+	}
+	// Subtract the max for numerical stability.
+	weights := make([]float64, len(scores))
+	var total float64
+	for i, s := range scores {
+		weights[i] = math.Exp(eps * (s - maxScore) / 2)
+		total += weights[i]
+	}
+	u := rng.Float64() * total
+	for i, wt := range weights {
+		if u < wt {
+			return i
+		}
+		u -= wt
+	}
+	return len(weights) - 1
+}
+
+var _ Mechanism = MWEM{}

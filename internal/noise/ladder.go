@@ -1,0 +1,82 @@
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ladder implements the gradual-release ("RelaxPrivacy") noise schedule of
+// Koufogiannis et al. used by the multi-poking mechanism (paper Algorithm 4,
+// line 15). A Ladder pre-computes, for an increasing privacy sequence
+// ε_0 < ε_1 < ... < ε_{m-1}, a correlated sequence of noise vectors
+// η_0, η_1, ..., η_{m-1} such that
+//
+//  1. marginally η_i ~ Lap(sens/ε_i)^L at every stage, and
+//  2. every earlier (noisier) vector is a deterministic function of the
+//     latest (least-noisy) vector plus data-independent randomness, so the
+//     transcript through stage i is a post-processing of an ε_i-DP release.
+//
+// Construction: sample the final vector η_{m-1} ~ Lap(sens/ε_{m-1})^L, then
+// walk backwards with η_i = η_{i+1} + ξ_i where ξ_i is 0 with probability
+// (ε_i/ε_{i+1})² and Lap(sens/ε_i) otherwise. The Laplace characteristic
+// function 1/(1+b²t²) factors exactly this way:
+//
+//	φ_{Lap(b_i)}(t) = φ_{Lap(b_{i+1})}(t) · [ (ε_i/ε_{i+1})² + (1-(ε_i/ε_{i+1})²)·φ_{Lap(b_i)}(t) ]
+//
+// so each η_i has the exact Laplace marginal at its own privacy level.
+type Ladder struct {
+	levels [][]float64 // levels[i] is the noise vector for stage i
+	eps    []float64
+}
+
+// NewLadder builds a ladder for len(eps) stages over vectors of length n,
+// with per-stage scales sens/eps[i]. eps must be strictly increasing and
+// positive.
+func NewLadder(rng *rand.Rand, sens float64, eps []float64, n int) (*Ladder, error) {
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("noise: ladder needs at least one stage")
+	}
+	if sens <= 0 {
+		return nil, fmt.Errorf("noise: ladder sensitivity must be positive, got %v", sens)
+	}
+	for i, e := range eps {
+		if e <= 0 {
+			return nil, fmt.Errorf("noise: ladder eps[%d]=%v must be positive", i, e)
+		}
+		if i > 0 && e <= eps[i-1] {
+			return nil, fmt.Errorf("noise: ladder eps must be strictly increasing (eps[%d]=%v <= eps[%d]=%v)", i, e, i-1, eps[i-1])
+		}
+	}
+	m := len(eps)
+	levels := make([][]float64, m)
+	// Final stage: fresh Laplace at the largest ε (smallest scale).
+	levels[m-1] = LaplaceVec(rng, sens/eps[m-1], n)
+	// Backward refinement: add an independent "coarsening" increment.
+	for i := m - 2; i >= 0; i-- {
+		ratio := eps[i] / eps[i+1]
+		keep := ratio * ratio
+		cur := make([]float64, n)
+		next := levels[i+1]
+		for j := 0; j < n; j++ {
+			if rng.Float64() < keep {
+				cur[j] = next[j]
+			} else {
+				cur[j] = next[j] + Laplace(rng, sens/eps[i])
+			}
+		}
+		levels[i] = cur
+	}
+	cp := make([]float64, len(eps))
+	copy(cp, eps)
+	return &Ladder{levels: levels, eps: cp}, nil
+}
+
+// Stages returns the number of stages in the ladder.
+func (l *Ladder) Stages() int { return len(l.levels) }
+
+// Eps returns the privacy level of stage i.
+func (l *Ladder) Eps(i int) float64 { return l.eps[i] }
+
+// Noise returns the noise vector for stage i. The returned slice is shared;
+// callers must not modify it.
+func (l *Ladder) Noise(i int) []float64 { return l.levels[i] }

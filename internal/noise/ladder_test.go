@@ -1,0 +1,121 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewLadderValidation(t *testing.T) {
+	rng := NewRand(1)
+	if _, err := NewLadder(rng, 1, nil, 4); err == nil {
+		t.Fatal("empty eps must error")
+	}
+	if _, err := NewLadder(rng, 0, []float64{1}, 4); err == nil {
+		t.Fatal("zero sensitivity must error")
+	}
+	if _, err := NewLadder(rng, 1, []float64{1, 1}, 4); err == nil {
+		t.Fatal("non-increasing eps must error")
+	}
+	if _, err := NewLadder(rng, 1, []float64{-1, 1}, 4); err == nil {
+		t.Fatal("negative eps must error")
+	}
+}
+
+func TestLadderShapes(t *testing.T) {
+	rng := NewRand(2)
+	eps := []float64{0.1, 0.2, 0.3}
+	l, err := NewLadder(rng, 2, eps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Stages() != 3 {
+		t.Fatalf("Stages = %d", l.Stages())
+	}
+	for i := range eps {
+		if l.Eps(i) != eps[i] {
+			t.Fatalf("Eps(%d) = %v", i, l.Eps(i))
+		}
+		if len(l.Noise(i)) != 5 {
+			t.Fatalf("stage %d has %d entries", i, len(l.Noise(i)))
+		}
+	}
+}
+
+// Marginal check: each stage's noise must be Laplace with scale sens/eps_i.
+// We verify the variance (2b²) within Monte-Carlo tolerance.
+func TestLadderMarginalVariance(t *testing.T) {
+	rng := NewRand(3)
+	eps := []float64{0.5, 1.0, 2.0}
+	sens := 1.0
+	const trials = 4000
+	const n = 8
+	sumSq := make([]float64, len(eps))
+	for tr := 0; tr < trials; tr++ {
+		l, err := NewLadder(rng, sens, eps, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range eps {
+			for _, v := range l.Noise(i) {
+				sumSq[i] += v * v
+			}
+		}
+	}
+	for i, e := range eps {
+		b := sens / e
+		want := 2 * b * b
+		got := sumSq[i] / float64(trials*n)
+		if math.Abs(got-want) > 0.15*want {
+			t.Errorf("stage %d: variance %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+// Refinement property: coarser stages differ from the final stage only by
+// the data-independent increments, and with probability (ε_i/ε_{i+1})² a
+// coordinate is carried over exactly. Check the carry-over rate empirically.
+func TestLadderCarryOverRate(t *testing.T) {
+	rng := NewRand(4)
+	eps := []float64{1.0, 2.0}
+	const trials = 20000
+	var same int
+	for tr := 0; tr < trials; tr++ {
+		l, err := NewLadder(rng, 1, eps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Noise(0)[0] == l.Noise(1)[0] {
+			same++
+		}
+	}
+	got := float64(same) / trials
+	want := 0.25 // (1/2)²
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("carry-over rate %v, want ~%v", got, want)
+	}
+}
+
+// The noisier stage must never have smaller expected magnitude than the
+// less-noisy stage in aggregate (variance ordering).
+func TestLadderVarianceOrdering(t *testing.T) {
+	rng := NewRand(5)
+	eps := []float64{0.2, 0.4, 0.8, 1.6}
+	const trials = 3000
+	sums := make([]float64, len(eps))
+	for tr := 0; tr < trials; tr++ {
+		l, err := NewLadder(rng, 1, eps, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range eps {
+			for _, v := range l.Noise(i) {
+				sums[i] += v * v
+			}
+		}
+	}
+	for i := 1; i < len(sums); i++ {
+		if sums[i] >= sums[i-1] {
+			t.Fatalf("variance must decrease along the ladder: %v", sums)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package noise provides the randomness substrate for APEx's differentially
+// private mechanisms: Laplace sampling, Laplace tail bounds used by the
+// accuracy-to-privacy translation formulas, and the gradual-release
+// ("RelaxPrivacy") noise ladder that the multi-poking mechanism uses to
+// correlate noise across privacy relaxations.
+//
+// All sampling goes through an injected *rand.Rand so experiments are
+// reproducible; NewSource gives a convenient seeded source.
+package noise
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic *rand.Rand seeded with seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Laplace draws one sample from the Laplace distribution with mean 0 and
+// scale b (density (1/2b)·exp(-|z|/b)) using inverse-CDF sampling.
+func Laplace(rng *rand.Rand, b float64) float64 {
+	if b < 0 {
+		panic(fmt.Sprintf("noise: negative Laplace scale %v", b))
+	}
+	if b == 0 {
+		return 0
+	}
+	// u uniform in (-1/2, 1/2); guard against u == -1/2 exactly.
+	u := rng.Float64() - 0.5
+	for u == -0.5 {
+		u = rng.Float64() - 0.5
+	}
+	if u < 0 {
+		return b * math.Log(1+2*u)
+	}
+	return -b * math.Log(1-2*u)
+}
+
+// LaplaceVec draws n independent Laplace(0, b) samples.
+func LaplaceVec(rng *rand.Rand, b float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = Laplace(rng, b)
+	}
+	return out
+}
+
+// LaplaceVecInto fills dst with independent Laplace(0, b) samples.
+func LaplaceVecInto(rng *rand.Rand, b float64, dst []float64) {
+	for i := range dst {
+		dst[i] = Laplace(rng, b)
+	}
+}
+
+// TailProb returns Pr[|Lap(0,b)| > t] = exp(-t/b) for t >= 0.
+func TailProb(b, t float64) float64 {
+	if t < 0 {
+		return 1
+	}
+	if b == 0 {
+		if t == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(-t / b)
+}
+
+// OneSidedTailProb returns Pr[Lap(0,b) > t] = exp(-t/b)/2 for t >= 0.
+func OneSidedTailProb(b, t float64) float64 {
+	if t < 0 {
+		return 1 - OneSidedTailProb(b, -t)
+	}
+	if b == 0 {
+		return 0
+	}
+	return math.Exp(-t/b) / 2
+}
+
+// ZScore returns the (1-p)-quantile of the standard normal distribution,
+// i.e. z such that Φ(z) = 1-p. It is used by the strategy mechanism's
+// Monte-Carlo translation to build a confidence interval around the
+// empirical failure rate (Algorithm 3, line 21). Implemented with the
+// Beasley-Springer-Moro rational approximation (absolute error < 1.2e-9).
+func ZScore(p float64) float64 {
+	return normQuantile(1 - p)
+}
+
+// normQuantile returns Φ⁻¹(u) for u in (0,1), using the Acklam/BSM
+// rational approximation.
+func normQuantile(u float64) float64 {
+	if u <= 0 {
+		return math.Inf(-1)
+	}
+	if u >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions (Acklam 2003).
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case u < plow:
+		q := math.Sqrt(-2 * math.Log(u))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case u <= 1-plow:
+		q := u - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-u))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,158 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplaceZeroScale(t *testing.T) {
+	rng := NewRand(1)
+	for i := 0; i < 10; i++ {
+		if v := Laplace(rng, 0); v != 0 {
+			t.Fatalf("Laplace(0) = %v, want 0", v)
+		}
+	}
+}
+
+func TestLaplaceNegativeScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative scale")
+		}
+	}()
+	Laplace(NewRand(1), -1)
+}
+
+func TestLaplaceMomentsMatch(t *testing.T) {
+	rng := NewRand(42)
+	const n = 200000
+	b := 2.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := Laplace(rng, b)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("mean %v too far from 0", mean)
+	}
+	// Var(Lap(b)) = 2b² = 12.5.
+	if math.Abs(variance-2*b*b) > 0.5 {
+		t.Fatalf("variance %v, want ~%v", variance, 2*b*b)
+	}
+}
+
+func TestLaplaceTailEmpirical(t *testing.T) {
+	rng := NewRand(7)
+	const n = 100000
+	b, thresh := 1.0, 2.0
+	var exceed int
+	for i := 0; i < n; i++ {
+		if math.Abs(Laplace(rng, b)) > thresh {
+			exceed++
+		}
+	}
+	got := float64(exceed) / n
+	want := TailProb(b, thresh) // e^-2 ≈ 0.1353
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical tail %v, analytic %v", got, want)
+	}
+}
+
+func TestTailProbEdges(t *testing.T) {
+	if got := TailProb(1, -1); got != 1 {
+		t.Fatalf("TailProb(t<0) = %v, want 1", got)
+	}
+	if got := TailProb(0, 0); got != 1 {
+		t.Fatalf("TailProb(b=0,t=0) = %v, want 1", got)
+	}
+	if got := TailProb(0, 1); got != 0 {
+		t.Fatalf("TailProb(b=0,t>0) = %v, want 0", got)
+	}
+}
+
+func TestOneSidedTail(t *testing.T) {
+	if got, want := OneSidedTailProb(1, 0), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Symmetry: P(X > -t) = 1 - P(X > t).
+	if got, want := OneSidedTailProb(1, -2), 1-OneSidedTailProb(1, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestZScoreKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.025, 1.959964},
+		{0.05, 1.644854},
+		{0.005, 2.575829},
+	}
+	for _, c := range cases {
+		if got := ZScore(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("ZScore(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormQuantileExtremes(t *testing.T) {
+	if !math.IsInf(normQuantile(0), -1) {
+		t.Fatal("normQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(normQuantile(1), 1) {
+		t.Fatal("normQuantile(1) should be +Inf")
+	}
+}
+
+// Property: the Laplace quantile/tail relationship holds: the fraction of
+// samples under the (1-q)-tail threshold matches q approximately.
+func TestQuickTailMonotone(t *testing.T) {
+	f := func(rawB, rawT1, rawT2 float64) bool {
+		b := math.Abs(math.Mod(rawB, 10)) + 0.1
+		t1 := math.Abs(math.Mod(rawT1, 10))
+		t2 := math.Abs(math.Mod(rawT2, 10))
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return TailProb(b, t1) >= TailProb(b, t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaplaceVecInto(t *testing.T) {
+	rng := NewRand(9)
+	dst := make([]float64, 16)
+	LaplaceVecInto(rng, 1.0, dst)
+	var nonzero int
+	for _, v := range dst {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("expected nonzero noise")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := LaplaceVec(NewRand(5), 1.0, 8)
+	b := LaplaceVec(NewRand(5), 1.0, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same samples")
+		}
+	}
+}
+
+func BenchmarkLaplace(b *testing.B) {
+	rng := NewRand(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Laplace(rng, 1.0)
+	}
+}

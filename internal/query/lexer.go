@@ -1,0 +1,165 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes the query language. Attribute names may be bare
+// identifiers or double-quoted (for names with spaces, e.g. "capital gain");
+// string literals are single-quoted; operators are =, !=, <, <=, >, >=.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '"':
+			if err := l.lexQuoted('"'); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(t token) { l.toks = append(l.toks, t) }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+// lexQuoted reads a double-quoted attribute name into an identifier token.
+func (l *lexer) lexQuoted(q byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) && l.src[l.pos] != q {
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("query: unterminated quoted name at offset %d", start)
+	}
+	l.pos++ // closing quote
+	l.emit(token{kind: tokIdent, text: sb.String(), pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("query: unterminated string at offset %d", start)
+	}
+	l.pos++
+	l.emit(token{kind: tokString, text: sb.String(), pos: start})
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' ||
+		l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+		((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start &&
+			(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+		l.pos++
+	}
+	l.emit(token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentStart(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexSymbol() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "!=", "<>":
+		l.pos += 2
+		if two == "<>" {
+			two = "!="
+		}
+		l.emit(token{kind: tokSymbol, text: two, pos: start})
+		return nil
+	}
+	switch c := l.src[l.pos]; c {
+	case '=', '<', '>', '{', '}', '(', ')', ',', ';', '*':
+		l.pos++
+		l.emit(token{kind: tokSymbol, text: string(c), pos: start})
+		return nil
+	default:
+		return fmt.Errorf("query: unexpected character %q at offset %d", string(c), start)
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

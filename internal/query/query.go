@@ -1,0 +1,124 @@
+// Package query defines APEx's exploration queries (§3.1) — workload
+// counting queries (WCQ), iceberg counting queries (ICQ) and top-k counting
+// queries (TCQ) — together with a parser for the paper's declarative
+// SQL-like syntax:
+//
+//	BIN D ON COUNT(*) WHERE W = { pred, pred, ... }
+//	  [HAVING COUNT(*) > c]
+//	  [ORDER BY COUNT(*) LIMIT k]
+//	  ERROR alpha CONFIDENCE 1-beta ;
+//
+// Queries can also be constructed programmatically with NewWCQ/NewICQ/NewTCQ.
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+)
+
+// Kind enumerates the three exploration query types.
+type Kind int
+
+// Query kinds.
+const (
+	// WCQ is a workload counting query: one count per predicate.
+	WCQ Kind = iota
+	// ICQ is an iceberg counting query: predicates whose count exceeds a
+	// threshold.
+	ICQ
+	// TCQ is a top-k counting query: the k predicates with largest counts.
+	TCQ
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case WCQ:
+		return "WCQ"
+	case ICQ:
+		return "ICQ"
+	case TCQ:
+		return "TCQ"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Query is one exploration query with its accuracy requirement.
+type Query struct {
+	Kind       Kind
+	Predicates []dataset.Predicate
+	// Threshold is the HAVING threshold c (ICQ only).
+	Threshold float64
+	// K is the LIMIT of a top-k query (TCQ only).
+	K int
+	// Req is the (α, β) accuracy requirement.
+	Req accuracy.Requirement
+}
+
+// NewWCQ builds a workload counting query.
+func NewWCQ(preds []dataset.Predicate, req accuracy.Requirement) (*Query, error) {
+	q := &Query{Kind: WCQ, Predicates: preds, Req: req}
+	return q, q.Validate()
+}
+
+// NewICQ builds an iceberg counting query with threshold c.
+func NewICQ(preds []dataset.Predicate, c float64, req accuracy.Requirement) (*Query, error) {
+	q := &Query{Kind: ICQ, Predicates: preds, Threshold: c, Req: req}
+	return q, q.Validate()
+}
+
+// NewTCQ builds a top-k counting query.
+func NewTCQ(preds []dataset.Predicate, k int, req accuracy.Requirement) (*Query, error) {
+	q := &Query{Kind: TCQ, Predicates: preds, K: k, Req: req}
+	return q, q.Validate()
+}
+
+// L returns the workload size.
+func (q *Query) L() int { return len(q.Predicates) }
+
+// Validate checks structural invariants.
+func (q *Query) Validate() error {
+	if len(q.Predicates) == 0 {
+		return fmt.Errorf("query: empty workload")
+	}
+	if err := q.Req.Validate(); err != nil {
+		return err
+	}
+	switch q.Kind {
+	case WCQ:
+	case ICQ:
+		if q.Threshold < 0 {
+			return fmt.Errorf("query: negative ICQ threshold %g", q.Threshold)
+		}
+	case TCQ:
+		if q.K <= 0 || q.K > len(q.Predicates) {
+			return fmt.Errorf("query: TCQ k=%d out of range 1..%d", q.K, len(q.Predicates))
+		}
+	default:
+		return fmt.Errorf("query: unknown kind %v", q.Kind)
+	}
+	return nil
+}
+
+// String renders the query in the declarative syntax.
+func (q *Query) String() string {
+	s := "BIN D ON COUNT(*) WHERE W = {"
+	for i, p := range q.Predicates {
+		if i > 0 {
+			s += ", "
+		}
+		s += p.String()
+	}
+	s += "}"
+	switch q.Kind {
+	case ICQ:
+		s += fmt.Sprintf(" HAVING COUNT(*) > %g", q.Threshold)
+	case TCQ:
+		s += fmt.Sprintf(" ORDER BY COUNT(*) LIMIT %d", q.K)
+	}
+	s += fmt.Sprintf(" ERROR %g CONFIDENCE %g;", q.Req.Alpha, 1-q.Req.Beta)
+	return s
+}

@@ -1,0 +1,237 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestIdentityMatrix(t *testing.T) {
+	m, err := Identity{}.Matrix(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(linalg.Identity(5), 0) {
+		t.Fatal("identity strategy must be I")
+	}
+	if m.L1Norm() != 1 {
+		t.Fatalf("identity sensitivity = %v", m.L1Norm())
+	}
+	if _, err := (Identity{}).Matrix(0); err == nil {
+		t.Fatal("zero domain must error")
+	}
+}
+
+func TestH2Shape(t *testing.T) {
+	m, err := H2.Matrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary tree over 4 leaves: 1 root + 2 internal + 4 leaves = 7 rows.
+	if m.Rows() != 7 || m.Cols() != 4 {
+		t.Fatalf("H2(4) shape %dx%d", m.Rows(), m.Cols())
+	}
+	// Root row is all ones.
+	for j := 0; j < 4; j++ {
+		if m.At(0, j) != 1 {
+			t.Fatal("root row must cover the domain")
+		}
+	}
+	// Sensitivity = tree height = 3 levels.
+	if got := m.L1Norm(); got != 3 {
+		t.Fatalf("H2(4) sensitivity = %v, want 3", got)
+	}
+}
+
+func TestH2SensitivityLogarithmic(t *testing.T) {
+	for _, n := range []int{8, 16, 64, 100, 256} {
+		m, err := H2.Matrix(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.L1Norm()
+		want := math.Ceil(math.Log2(float64(n))) + 1
+		if got > want+1 {
+			t.Errorf("H2(%d) sensitivity %v exceeds log bound %v", n, got, want)
+		}
+	}
+}
+
+func TestH2ContainsLeaves(t *testing.T) {
+	n := 10
+	m, err := H2.Matrix(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every singleton must appear as a row (full column rank guarantee).
+	found := make([]bool, n)
+	for r := 0; r < m.Rows(); r++ {
+		ones, col := 0, -1
+		for j := 0; j < n; j++ {
+			if m.At(r, j) == 1 {
+				ones++
+				col = j
+			}
+		}
+		if ones == 1 {
+			found[col] = true
+		}
+	}
+	for j, ok := range found {
+		if !ok {
+			t.Fatalf("no leaf row for column %d", j)
+		}
+	}
+}
+
+func TestHierarchicalBranchFactors(t *testing.T) {
+	for _, b := range []int{2, 4, 8} {
+		h := Hierarchical{Branch: b}
+		m, err := h.Matrix(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Cols() != 64 {
+			t.Fatalf("b=%d: cols %d", b, m.Cols())
+		}
+		// Higher fanout => shallower tree => lower sensitivity.
+		want := math.Ceil(math.Log(64)/math.Log(float64(b))) + 1
+		if got := m.L1Norm(); got > want+1 {
+			t.Errorf("b=%d sensitivity %v > %v", b, got, want)
+		}
+	}
+	if (Hierarchical{Branch: 0}).Name() != "h2" {
+		t.Fatal("default branch must be 2")
+	}
+	if (Hierarchical{Branch: 4}).Name() != "h4" {
+		t.Fatal("name must include branch")
+	}
+}
+
+func TestNewReconstructionSpans(t *testing.T) {
+	// Prefix workload over 6 partitions.
+	n := 6
+	w := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			w.Set(i, j, 1)
+		}
+	}
+	rec, err := NewReconstruction(w, H2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SensA <= 0 {
+		t.Fatal("strategy sensitivity must be positive")
+	}
+	// Exact reconstruction on noiseless answers: R·(A·x) == W·x.
+	x := []float64{3, 1, 4, 1, 5, 9}
+	ax, err := rec.A.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec.R.MulVec(ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("reconstruction mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReconstructionIdentityStrategy(t *testing.T) {
+	w := linalg.NewMatrix(2, 3)
+	w.Set(0, 0, 1)
+	w.Set(0, 1, 1)
+	w.Set(1, 2, 1)
+	rec, err := NewReconstruction(w, Identity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SensA != 1 {
+		t.Fatalf("identity SensA = %v", rec.SensA)
+	}
+	if !rec.R.Equal(w, 1e-9) {
+		t.Fatal("R must equal W for identity strategy")
+	}
+}
+
+func TestH2SingleColumn(t *testing.T) {
+	m, err := H2.Matrix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 1 || m.At(0, 0) != 1 {
+		t.Fatalf("H2(1) = %v", m)
+	}
+}
+
+func TestWaveletSpansAndReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 6, 8, 10, 16} {
+		a, err := Wavelet{}.Matrix(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cols() != n {
+			t.Fatalf("n=%d: cols %d", n, a.Cols())
+		}
+		// Prefix workload reconstruction through the pseudoinverse.
+		w := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				w.Set(i, j, 1)
+			}
+		}
+		rec, err := NewReconstruction(w, Wavelet{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i*i + 1)
+		}
+		ax, err := rec.A.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.R.MulVec(ax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := w.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7 {
+				t.Fatalf("n=%d idx=%d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWaveletSensitivityLogarithmic(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		a, err := Wavelet{}.Matrix(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Log2(float64(n)) + 1
+		if got := a.L1Norm(); got > want+1 {
+			t.Errorf("haar(%d) sensitivity %v > %v", n, got, want)
+		}
+	}
+	if (Wavelet{}).Name() != "haar" {
+		t.Fatal("name")
+	}
+	if _, err := (Wavelet{}).Matrix(0); err == nil {
+		t.Fatal("zero domain must error")
+	}
+}

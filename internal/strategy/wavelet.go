@@ -1,0 +1,72 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Wavelet is the Haar-wavelet strategy (Privelet, Xiao et al.): the strategy
+// answers the Haar transform coefficients of the histogram. Like the
+// hierarchical strategy it has logarithmic sensitivity, but range-query
+// reconstruction touches only O(log n) coefficients with ±1 weights. The
+// paper's APEx uses H2 for its experiments; Wavelet is provided as an
+// alternative strategy for the ablation benchmarks.
+type Wavelet struct{}
+
+// Name implements Strategy.
+func (Wavelet) Name() string { return "haar" }
+
+// Matrix implements Strategy. The domain is implicitly padded to the next
+// power of two; padded-only rows are dropped (they are identically zero on
+// the real columns), which preserves full column rank because the remaining
+// rows still span the space.
+func (Wavelet) Matrix(n int) (*linalg.Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("strategy: domain size %d", n)
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	// Haar basis rows over [0, p): the average row plus difference rows at
+	// every scale. Row values restricted to the first n columns.
+	type hrow struct {
+		vals []float64
+	}
+	var rows []hrow
+	// Scaling (average) row.
+	avg := make([]float64, n)
+	for j := 0; j < n; j++ {
+		avg[j] = 1
+	}
+	rows = append(rows, hrow{avg})
+	// Difference rows: for each scale s (block size b = p/2^s pairs).
+	for size := p; size >= 2; size /= 2 {
+		half := size / 2
+		for start := 0; start < p; start += size {
+			v := make([]float64, n)
+			nonzero := false
+			for j := start; j < start+half && j < n; j++ {
+				v[j] = 1
+				nonzero = true
+			}
+			for j := start + half; j < start+size && j < n; j++ {
+				v[j] = -1
+				nonzero = true
+			}
+			if nonzero {
+				rows = append(rows, hrow{v})
+			}
+		}
+	}
+	m := linalg.NewMatrix(len(rows), n)
+	for r, hr := range rows {
+		for j, v := range hr.vals {
+			if v != 0 {
+				m.Set(r, j, v)
+			}
+		}
+	}
+	return m, nil
+}

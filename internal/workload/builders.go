@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// Histogram1D returns the disjoint-bin workload
+// {attr ∈ [lo, lo+w), [lo+w, lo+2w), ..., [hi-w, hi)} — the Wh of §3.1.
+func Histogram1D(attr string, lo, hi, width float64) ([]dataset.Predicate, error) {
+	if width <= 0 || hi <= lo {
+		return nil, fmt.Errorf("workload: invalid histogram bounds [%g,%g) width %g", lo, hi, width)
+	}
+	n := int(math.Round((hi - lo) / width))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]dataset.Predicate, 0, n)
+	for i := 0; i < n; i++ {
+		b := lo + float64(i)*width
+		end := lo + float64(i+1)*width
+		if end > hi || i == n-1 {
+			end = hi
+		}
+		out = append(out, dataset.Range{Attr: attr, Lo: b, Hi: end})
+	}
+	return out, nil
+}
+
+// Prefix1D returns the cumulative (prefix) workload
+// {attr < lo+w, attr < lo+2w, ..., attr < hi} — the Wp of §3.1, with
+// sensitivity equal to the workload size.
+func Prefix1D(attr string, lo, hi, width float64) ([]dataset.Predicate, error) {
+	if width <= 0 || hi <= lo {
+		return nil, fmt.Errorf("workload: invalid prefix bounds [%g,%g) width %g", lo, hi, width)
+	}
+	n := int(math.Round((hi - lo) / width))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]dataset.Predicate, 0, n)
+	for i := 1; i <= n; i++ {
+		b := lo + float64(i)*width
+		if b > hi || i == n {
+			b = hi
+		}
+		out = append(out, dataset.Range{Attr: attr, Lo: lo, Hi: b})
+	}
+	return out, nil
+}
+
+// Histogram2D returns the grid workload over two continuous attributes:
+// one predicate per (cell1, cell2) pair — e.g. QW4's
+// (total amount bin) × (passenger count) workload.
+func Histogram2D(attr1 string, lo1, hi1, w1 float64, attr2 string, lo2, hi2, w2 float64) ([]dataset.Predicate, error) {
+	b1, err := Histogram1D(attr1, lo1, hi1, w1)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := Histogram1D(attr2, lo2, hi2, w2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]dataset.Predicate, 0, len(b1)*len(b2))
+	for _, p1 := range b1 {
+		for _, p2 := range b2 {
+			out = append(out, dataset.And{p1, p2})
+		}
+	}
+	return out, nil
+}
+
+// PointPredicates returns one equality predicate per value of a continuous
+// attribute — e.g. QT1's {"age"=0, ..., "age"=99}.
+func PointPredicates(attr string, values []float64) []dataset.Predicate {
+	out := make([]dataset.Predicate, len(values))
+	for i, v := range values {
+		out[i] = dataset.NumCmp{Attr: attr, Op: dataset.Eq, C: v}
+	}
+	return out
+}
+
+// CategoryPredicates returns one equality predicate per categorical value —
+// e.g. {State=AL, ..., State=WY}.
+func CategoryPredicates(attr string, values []string) []dataset.Predicate {
+	out := make([]dataset.Predicate, len(values))
+	for i, v := range values {
+		out[i] = dataset.StrEq{Attr: attr, Val: v}
+	}
+	return out
+}
+
+// AllRanges1D returns the workload of ALL contiguous ranges over the bins
+// [lo+i·w, lo+j·w) for 0 <= i < j <= n — the classic range-query workload
+// of the matrix-mechanism literature, with L = n(n+1)/2 and sensitivity
+// up to ~n²/4 under the Laplace baseline (where hierarchical strategies
+// shine the most).
+func AllRanges1D(attr string, lo, hi, width float64) ([]dataset.Predicate, error) {
+	if width <= 0 || hi <= lo {
+		return nil, fmt.Errorf("workload: invalid range bounds [%g,%g) width %g", lo, hi, width)
+	}
+	n := int(math.Round((hi - lo) / width))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]dataset.Predicate, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= n; j++ {
+			start := lo + float64(i)*width
+			end := lo + float64(j)*width
+			if end > hi || j == n {
+				end = hi
+			}
+			out = append(out, dataset.Range{Attr: attr, Lo: start, Hi: end})
+		}
+	}
+	return out, nil
+}
+
+// Marginals2D returns the two one-dimensional marginals of a 2-D histogram
+// as a single workload: first the bins of attr1, then the bins of attr2.
+// Sensitivity is 2 (one tuple lands in one bin per marginal).
+func Marginals2D(attr1 string, lo1, hi1, w1 float64, attr2 string, lo2, hi2, w2 float64) ([]dataset.Predicate, error) {
+	m1, err := Histogram1D(attr1, lo1, hi1, w1)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := Histogram1D(attr2, lo2, hi2, w2)
+	if err != nil {
+		return nil, err
+	}
+	return append(m1, m2...), nil
+}
