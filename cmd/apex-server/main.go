@@ -1,0 +1,87 @@
+// Command apex-server hosts APEx as a multi-tenant HTTP/JSON service: the
+// data owner registers named datasets (CSV + schema pairs), analysts open
+// sessions against them with a privacy budget, post exploration queries in
+// the paper's text syntax, and audit the full per-session transcript.
+//
+//	apex-server -listen :8080 \
+//	  -dataset people=people.csv,people.schema \
+//	  -dataset taxi=taxi.csv,taxi.schema \
+//	  -max-budget 2.0
+//
+// A quickstart with curl:
+//
+//	curl -s localhost:8080/v1/datasets
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	  -d '{"dataset":"people","budget":1.0,"mode":"optimistic","seed":7}'
+//	curl -s -X POST localhost:8080/v1/sessions/<id>/query \
+//	  -d '{"query":"BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50 } ERROR 100 CONFIDENCE 0.95;"}'
+//	curl -s localhost:8080/v1/sessions/<id>/transcript
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/server"
+)
+
+// datasetFlags collects repeated -dataset name=csv,schema values.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, " ") }
+
+func (d *datasetFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var datasets datasetFlags
+	var (
+		listen      = flag.String("listen", ":8080", "address to serve on")
+		maxBudget   = flag.Float64("max-budget", 0, "per-session budget cap (0 = uncapped)")
+		maxSessions = flag.Int("max-sessions", 0, "live session limit (0 = unlimited)")
+		allowSeeds  = flag.Bool("allow-seeds", false, "let analysts fix their session RNG seed (voids privacy against an analyst who knows the seed; for trusted/reproducible use only)")
+	)
+	flag.Var(&datasets, "dataset", "dataset to host as name=data.csv,schema.file (repeatable)")
+	flag.Parse()
+
+	reg := server.NewRegistry()
+	for _, spec := range datasets {
+		name, files, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("apex-server: -dataset %q: want name=data.csv,schema.file", spec)
+		}
+		csvPath, schemaPath, ok := strings.Cut(files, ",")
+		if !ok {
+			log.Fatalf("apex-server: -dataset %q: want name=data.csv,schema.file", spec)
+		}
+		if err := reg.LoadFiles(name, csvPath, schemaPath); err != nil {
+			log.Fatalf("apex-server: %v", err)
+		}
+		t, _ := reg.Get(name)
+		log.Printf("apex-server: dataset %q loaded: %d rows, %d attributes",
+			name, t.Size(), t.Schema().Arity())
+	}
+	if len(reg.Names()) == 0 {
+		log.Printf("apex-server: starting with no datasets; register them via POST /v1/datasets")
+	}
+
+	srv := server.New(reg, server.Config{
+		MaxBudget:   *maxBudget,
+		MaxSessions: *maxSessions,
+		AllowSeeds:  *allowSeeds,
+	})
+	log.Printf("apex-server: listening on %s (datasets: %s)", *listen, datasetList(reg))
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+func datasetList(reg *server.Registry) string {
+	names := reg.Names()
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}

@@ -15,12 +15,10 @@
 package main
 
 import (
-	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/dataset"
@@ -57,9 +55,9 @@ func main() {
 		fatal(err)
 	}
 
-	m := engine.Optimistic
-	if *mode == "pessimistic" {
-		m = engine.Pessimistic
+	m, err := engine.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 	eng, err := engine.New(table, engine.Config{
 		Budget: *budget,
@@ -72,8 +70,7 @@ func main() {
 
 	fmt.Printf("APEx: %d rows, budget B=%g, %s mode. One query per line; blank line to quit.\n",
 		table.Size(), *budget, m)
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc := query.NewLineScanner(os.Stdin)
 	for {
 		fmt.Printf("[spent %.4g / %.4g] apex> ", eng.Spent(), eng.Budget())
 		if !sc.Scan() {
@@ -87,9 +84,12 @@ func main() {
 			runCommand(eng, line)
 			continue
 		}
-		q, err := query.Parse(line)
+		q, err := query.ParseLine(line)
 		if err != nil {
 			fmt.Println("parse error:", err)
+			continue
+		}
+		if q == nil { // comment line
 			continue
 		}
 		ans, err := eng.Ask(q)
@@ -166,57 +166,15 @@ func printAnswer(q *query.Query, ans *engine.Answer) {
 	}
 }
 
-// loadSchema parses the simple schema file format.
+// loadSchema reads a schema file in the shared text format (see
+// dataset.ReadSchemaText).
 func loadSchema(path string) (*dataset.Schema, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var attrs []dataset.Attribute
-	sc := bufio.NewScanner(f)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("schema line %d: want `name kind ...`", lineNo)
-		}
-		name, kind := fields[0], fields[1]
-		switch kind {
-		case "continuous":
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("schema line %d: continuous needs min max", lineNo)
-			}
-			lo, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("schema line %d: %w", lineNo, err)
-			}
-			hi, err := strconv.ParseFloat(fields[3], 64)
-			if err != nil {
-				return nil, fmt.Errorf("schema line %d: %w", lineNo, err)
-			}
-			attrs = append(attrs, dataset.Attribute{Name: name, Kind: dataset.Continuous, Min: lo, Max: hi})
-		case "categorical":
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("schema line %d: categorical needs comma-separated values", lineNo)
-			}
-			attrs = append(attrs, dataset.Attribute{
-				Name: name, Kind: dataset.Categorical,
-				Values: strings.Split(fields[2], ","),
-			})
-		default:
-			return nil, fmt.Errorf("schema line %d: unknown kind %q", lineNo, kind)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return dataset.NewSchema(attrs...)
+	return dataset.ReadSchemaText(f)
 }
 
 func fatal(err error) {

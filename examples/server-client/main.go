@@ -1,0 +1,77 @@
+// Example server-client runs an in-process apex-server over a synthetic
+// table and drives it with the Go client: two concurrent analyst sessions
+// explore the same dataset under independent budgets, then each audits its
+// own transcript.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+func main() {
+	// The data owner's side: one registered dataset, a per-session cap.
+	schema := dataset.MustSchema(
+		dataset.Attribute{Name: "age", Kind: dataset.Continuous, Min: 0, Max: 100},
+	)
+	rng := rand.New(rand.NewSource(42))
+	var csv strings.Builder
+	csv.WriteString("age\n")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&csv, "%d\n", rng.Intn(100))
+	}
+	table, err := dataset.ReadCSV(strings.NewReader(csv.String()), schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	if err := reg.Add("people", table); err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{MaxBudget: 2, AllowSeeds: true}).Handler())
+	defer ts.Close()
+
+	// Two analysts, each with an isolated budget.
+	var wg sync.WaitGroup
+	for analyst := 1; analyst <= 2; analyst++ {
+		wg.Add(1)
+		go func(analyst int) {
+			defer wg.Done()
+			c := client.New(ts.URL)
+			sess, err := c.CreateSession(server.CreateSessionRequest{
+				Dataset: "people", Budget: 1.0, Seed: int64(analyst),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for {
+				ans, err := c.Query(sess.ID,
+					"BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 20 CONFIDENCE 0.95;")
+				if err != nil {
+					log.Fatal(err)
+				}
+				if ans.Denied {
+					fmt.Printf("analyst %d: denied (%s)\n", analyst, ans.Reason)
+					break
+				}
+				fmt.Printf("analyst %d: counts %.0f via %s, eps=%.3f, remaining %.3f\n",
+					analyst, ans.Counts, ans.Mechanism, ans.Epsilon, ans.Remaining)
+			}
+			tr, err := c.Transcript(sess.ID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("analyst %d: transcript of %d entries, spent %.3f of %g, valid=%v\n",
+				analyst, len(tr.Entries), tr.Spent, tr.Budget, tr.Valid)
+		}(analyst)
+	}
+	wg.Wait()
+}

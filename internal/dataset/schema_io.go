@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// attrJSON is the wire form of one attribute. Kind is spelled out
+// ("categorical"/"continuous") so the JSON is self-describing for clients
+// in other languages.
+type attrJSON struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Values []string `json:"values,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+}
+
+type schemaJSON struct {
+	Attributes []attrJSON `json:"attributes"`
+}
+
+// MarshalJSON renders the schema as {"attributes": [...]}, with each
+// attribute carrying its public domain.
+func (s *Schema) MarshalJSON() ([]byte, error) {
+	out := schemaJSON{Attributes: make([]attrJSON, 0, len(s.attrs))}
+	for _, a := range s.attrs {
+		aj := attrJSON{Name: a.Name, Kind: a.Kind.String()}
+		if a.Kind == Categorical {
+			aj.Values = a.Values
+		} else {
+			lo, hi := a.Min, a.Max
+			aj.Min, aj.Max = &lo, &hi
+		}
+		out.Attributes = append(out.Attributes, aj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the MarshalJSON form, applying the same validation
+// as NewSchema.
+func (s *Schema) UnmarshalJSON(b []byte) error {
+	var in schemaJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return fmt.Errorf("dataset: schema JSON: %w", err)
+	}
+	attrs := make([]Attribute, 0, len(in.Attributes))
+	for _, aj := range in.Attributes {
+		a := Attribute{Name: aj.Name}
+		switch aj.Kind {
+		case "categorical":
+			a.Kind = Categorical
+			a.Values = aj.Values
+		case "continuous":
+			a.Kind = Continuous
+			if aj.Min == nil || aj.Max == nil {
+				return fmt.Errorf("dataset: continuous attribute %q needs min and max", aj.Name)
+			}
+			a.Min, a.Max = *aj.Min, *aj.Max
+		default:
+			return fmt.Errorf("dataset: attribute %q has unknown kind %q", aj.Name, aj.Kind)
+		}
+		attrs = append(attrs, a)
+	}
+	built, err := NewSchema(attrs...)
+	if err != nil {
+		return err
+	}
+	*s = *built
+	return nil
+}
+
+// ReadSchemaText parses the plain-text schema format used by the apex CLI
+// and apex-server dataset files: one attribute per line, blank lines and
+// #-comments ignored.
+//
+//	age        continuous  0 100
+//	state      categorical AL,AK,...,WY
+func ReadSchemaText(r io.Reader) (*Schema, error) {
+	var attrs []Attribute
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: schema line %d: want `name kind ...`", lineNo)
+		}
+		name, kind := fields[0], fields[1]
+		switch kind {
+		case "continuous":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dataset: schema line %d: continuous needs min max", lineNo)
+			}
+			lo, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: schema line %d: %w", lineNo, err)
+			}
+			hi, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: schema line %d: %w", lineNo, err)
+			}
+			attrs = append(attrs, Attribute{Name: name, Kind: Continuous, Min: lo, Max: hi})
+		case "categorical":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: schema line %d: categorical needs comma-separated values", lineNo)
+			}
+			attrs = append(attrs, Attribute{
+				Name: name, Kind: Categorical,
+				Values: strings.Split(fields[2], ","),
+			})
+		default:
+			return nil, fmt.Errorf("dataset: schema line %d: unknown kind %q", lineNo, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewSchema(attrs...)
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "age", Kind: Continuous, Min: 0, Max: 100},
+		Attribute{Name: "state", Kind: Categorical, Values: []string{"AL", "AK", "WY"}},
+	)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schema
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Arity() != 2 {
+		t.Fatalf("arity %d after round trip", back.Arity())
+	}
+	age, ok := back.AttrByName("age")
+	if !ok || age.Kind != Continuous || age.Min != 0 || age.Max != 100 {
+		t.Fatalf("age = %+v", age)
+	}
+	state, ok := back.AttrByName("state")
+	if !ok || state.Kind != Categorical || len(state.Values) != 3 {
+		t.Fatalf("state = %+v", state)
+	}
+}
+
+func TestSchemaJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":       `{"attributes":[{"name":"a","kind":"weird"}]}`,
+		"missing bounds": `{"attributes":[{"name":"a","kind":"continuous"}]}`,
+		"empty domain":   `{"attributes":[{"name":"a","kind":"categorical"}]}`,
+		"dup name":       `{"attributes":[{"name":"a","kind":"categorical","values":["x"]},{"name":"a","kind":"categorical","values":["y"]}]}`,
+		"not json":       `{"attributes":`,
+	}
+	for name, in := range cases {
+		var s Schema
+		if err := json.Unmarshal([]byte(in), &s); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSchemaText(t *testing.T) {
+	s, err := ReadSchemaText(strings.NewReader(`
+# comment
+age     continuous  0 100
+state   categorical AL,AK,WY
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arity() != 2 {
+		t.Fatalf("arity %d", s.Arity())
+	}
+	a, _ := s.AttrByName("age")
+	if a.Kind != Continuous || a.Max != 100 {
+		t.Fatalf("age = %+v", a)
+	}
+}
+
+func TestReadSchemaTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":        "age\n",
+		"bad kind":          "age weird 0 1\n",
+		"continuous fields": "age continuous 0\n",
+		"bad float":         "age continuous x 1\n",
+		"categorical":       "state categorical\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSchemaText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

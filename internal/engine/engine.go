@@ -16,9 +16,11 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 
 	"repro/internal/dataset"
@@ -52,9 +54,28 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode parses a mode name ("optimistic" or "pessimistic",
+// case-insensitive). Both the CLI and the server accept modes through it so
+// the two front ends agree on spelling and errors.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "optimistic":
+		return Optimistic, nil
+	case "pessimistic":
+		return Pessimistic, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown mode %q (want optimistic or pessimistic)", s)
+	}
+}
+
 // ErrDenied is returned when no applicable mechanism fits in the remaining
 // privacy budget ("Query Denied", Algorithm 1 line 16).
 var ErrDenied = errors.New("engine: query denied: insufficient privacy budget")
+
+// ErrMechanismFailure marks an internal failure while running a chosen
+// mechanism, as opposed to a problem with the analyst's input; callers
+// (such as the server) use it to distinguish 5xx from 4xx conditions.
+var ErrMechanismFailure = errors.New("mechanism failure")
 
 // epsTol absorbs floating-point drift in budget comparisons.
 const epsTol = 1e-9
@@ -176,6 +197,9 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 // Budget returns the owner's total budget B.
 func (e *Engine) Budget() float64 { return e.budget }
 
+// Mode returns the translator mode the engine was built with.
+func (e *Engine) Mode() Mode { return e.mode }
+
 // Spent returns the cumulative actual privacy loss so far.
 func (e *Engine) Spent() float64 {
 	e.mu.Lock()
@@ -195,6 +219,14 @@ func (e *Engine) Transcript() []Entry {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]Entry(nil), e.log...)
+}
+
+// TranscriptLen returns the number of transcript entries without copying
+// the log.
+func (e *Engine) TranscriptLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.log)
 }
 
 // Choice describes one mechanism's translation for a query; used by
@@ -228,6 +260,17 @@ func (e *Engine) Translations(q *query.Query) ([]Choice, error) {
 // Ask answers one exploration query (Algorithm 1's loop body). On denial it
 // returns ErrDenied and charges nothing.
 func (e *Engine) Ask(q *query.Query) (*Answer, error) {
+	return e.AskContext(context.Background(), q)
+}
+
+// AskContext is Ask with cancellation: if ctx is done before the mechanism
+// runs, the query is abandoned and nothing is charged or logged. A query
+// whose mechanism has already started runs to completion — charging actual
+// loss for a half-delivered answer would break the transcript invariant.
+func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -238,6 +281,12 @@ func (e *Engine) Ask(q *query.Query) (*Answer, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+
+	// Re-check after potentially waiting on the lock behind other sessions'
+	// mechanism runs.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	key := workloadKey(q.Predicates)
 	if ans := e.tryReuse(q, key); ans != nil {
@@ -271,11 +320,11 @@ func (e *Engine) Ask(q *query.Query) (*Answer, error) {
 
 	res, err := best.Mechanism.Run(q, tr, e.data, e.rng)
 	if err != nil {
-		return nil, fmt.Errorf("engine: %s run: %w", best.Mechanism.Name(), err)
+		return nil, fmt.Errorf("engine: %s run: %v: %w", best.Mechanism.Name(), err, ErrMechanismFailure)
 	}
 	if res.Epsilon > best.Cost.Upper+epsTol {
-		return nil, fmt.Errorf("engine: %s actual loss %v exceeds declared upper bound %v",
-			best.Mechanism.Name(), res.Epsilon, best.Cost.Upper)
+		return nil, fmt.Errorf("engine: %s actual loss %v exceeds declared upper bound %v: %w",
+			best.Mechanism.Name(), res.Epsilon, best.Cost.Upper, ErrMechanismFailure)
 	}
 	ans := &Answer{
 		Counts:       res.Counts,

@@ -1,0 +1,32 @@
+package query
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// maxLineBytes bounds one query line (and the scanner buffer) at 1 MiB —
+// generously above any realistic workload rendering, but finite so a
+// malformed stream can't balloon memory.
+const maxLineBytes = 1 << 20
+
+// NewLineScanner returns a scanner configured for the one-query-per-line
+// protocol shared by the apex CLI and the apex-server query endpoint.
+func NewLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, maxLineBytes), maxLineBytes)
+	return sc
+}
+
+// ParseLine parses one line of query text as both front ends accept it:
+// surrounding whitespace is trimmed, and blank lines and #-comments parse
+// to (nil, nil). Everything else goes through Parse, so the CLI and the
+// server share one parser entry point and one error format.
+func ParseLine(line string) (*Query, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil, nil
+	}
+	return Parse(line)
+}

@@ -1,0 +1,39 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	q, err := ParseLine("  BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50 } ERROR 100 CONFIDENCE 0.95;  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == nil || q.Kind != WCQ || len(q.Predicates) != 1 {
+		t.Fatalf("q = %+v", q)
+	}
+
+	for _, blank := range []string{"", "   ", "\t", "# a comment", "  # indented comment"} {
+		q, err := ParseLine(blank)
+		if err != nil || q != nil {
+			t.Errorf("ParseLine(%q) = %v, %v; want nil, nil", blank, q, err)
+		}
+	}
+
+	if _, err := ParseLine("BIN D ON"); err == nil {
+		t.Error("malformed line must error")
+	}
+}
+
+func TestNewLineScannerLongLine(t *testing.T) {
+	// A line beyond bufio's 64 KiB default must still scan.
+	long := "# " + strings.Repeat("x", 100_000)
+	sc := NewLineScanner(strings.NewReader(long + "\n"))
+	if !sc.Scan() {
+		t.Fatalf("scan failed: %v", sc.Err())
+	}
+	if sc.Text() != long {
+		t.Fatalf("long line truncated to %d bytes", len(sc.Text()))
+	}
+}

@@ -1,0 +1,140 @@
+// Package client is a small Go client for the apex-server HTTP API, used
+// by the server tests and examples. It mirrors the wire types in
+// internal/server one-for-one.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/server"
+)
+
+// Client talks to one apex-server instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+// APIError is a non-2xx reply, decoded from the server's error body.
+type APIError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+}
+
+// Datasets lists the registered datasets.
+func (c *Client) Datasets() ([]server.DatasetInfo, error) {
+	var out []server.DatasetInfo
+	return out, c.do(http.MethodGet, "/v1/datasets", nil, &out)
+}
+
+// Dataset returns one dataset's row count and public schema.
+func (c *Client) Dataset(name string) (*server.DatasetInfo, error) {
+	var out server.DatasetInfo
+	return &out, c.do(http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil, &out)
+}
+
+// AddDataset registers a dataset through the owner endpoint.
+func (c *Client) AddDataset(req server.AddDatasetRequest) (*server.DatasetInfo, error) {
+	var out server.DatasetInfo
+	return &out, c.do(http.MethodPost, "/v1/datasets", req, &out)
+}
+
+// CreateSession opens an analyst session and returns its state.
+func (c *Client) CreateSession(req server.CreateSessionRequest) (*server.SessionInfo, error) {
+	var out server.SessionInfo
+	return &out, c.do(http.MethodPost, "/v1/sessions", req, &out)
+}
+
+// Session returns a session's budget state.
+func (c *Client) Session(id string) (*server.SessionInfo, error) {
+	var out server.SessionInfo
+	return &out, c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &out)
+}
+
+// Sessions lists live sessions.
+func (c *Client) Sessions() ([]server.SessionInfo, error) {
+	var out []server.SessionInfo
+	return out, c.do(http.MethodGet, "/v1/sessions", nil, &out)
+}
+
+// CloseSession forgets a session on the server.
+func (c *Client) CloseSession(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Query submits one query in the paper's text syntax. A denial is not an
+// error: check QueryResponse.Denied.
+func (c *Client) Query(sessionID, queryText string) (*server.QueryResponse, error) {
+	var out server.QueryResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/query",
+		server.QueryRequest{Query: queryText}, &out)
+	return &out, err
+}
+
+// Transcript fetches the session's full audit transcript.
+func (c *Client) Transcript(sessionID string) (*server.TranscriptResponse, error) {
+	var out server.TranscriptResponse
+	return &out, c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(sessionID)+"/transcript", nil, &out)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Code: "unknown", Message: string(data)}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Package server turns the APEx library into a multi-tenant HTTP/JSON
+// service: a dataset registry holds the owner's named tables, a session
+// manager runs one privacy engine per analyst session, and the HTTP layer
+// exposes session creation, query answering in the paper's text syntax,
+// and full per-session transcripts for audit.
+//
+// Each session owns an isolated engine (its own budget B, translator mode
+// and random source), so concurrent analysts cannot observe or drain each
+// other's budgets; the engine's own locking keeps individual sessions
+// race-safe under concurrent requests.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// ErrDuplicateDataset is returned when registering a name that is taken.
+var ErrDuplicateDataset = errors.New("server: dataset already registered")
+
+// Registry is the thread-safe catalog of named sensitive tables the server
+// hosts. Tables are immutable once registered; sessions hold direct
+// references, so a table can never change under a live session.
+type Registry struct {
+	mu     sync.RWMutex
+	tables map[string]*dataset.Table
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tables: make(map[string]*dataset.Table)}
+}
+
+// Add registers a table under name. Names are unique: re-registering is an
+// error so a dataset can't be swapped out from under running sessions.
+func (r *Registry) Add(name string, t *dataset.Table) error {
+	if err := validateDatasetName(name); err != nil {
+		return err
+	}
+	if t == nil {
+		return fmt.Errorf("server: nil table for dataset %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tables[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	r.tables[name] = t
+	return nil
+}
+
+// validateDatasetName restricts names to URL-path-safe characters so they
+// survive the /v1/datasets/{name} route without escaping.
+func validateDatasetName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: dataset name must be non-empty")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return fmt.Errorf("server: dataset name %q: only letters, digits, '_', '-' and '.' are allowed", name)
+		}
+	}
+	return nil
+}
+
+// LoadFiles reads a CSV + text-schema pair from disk and registers the
+// table under name. This is the startup path used by cmd/apex-server.
+func (r *Registry) LoadFiles(name, csvPath, schemaPath string) error {
+	sf, err := os.Open(schemaPath)
+	if err != nil {
+		return fmt.Errorf("server: dataset %q: %w", name, err)
+	}
+	schema, err := dataset.ReadSchemaText(sf)
+	sf.Close()
+	if err != nil {
+		return fmt.Errorf("server: dataset %q: %w", name, err)
+	}
+	cf, err := os.Open(csvPath)
+	if err != nil {
+		return fmt.Errorf("server: dataset %q: %w", name, err)
+	}
+	table, err := dataset.ReadCSV(cf, schema)
+	cf.Close()
+	if err != nil {
+		return fmt.Errorf("server: dataset %q: %w", name, err)
+	}
+	return r.Add(name, table)
+}
+
+// Get returns the named table.
+func (r *Registry) Get(name string) (*dataset.Table, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tables[name]
+	return t, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tables))
+	for name := range r.tables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

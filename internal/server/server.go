@@ -1,0 +1,441 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/query"
+)
+
+// Config holds the owner-side policy knobs for one server.
+type Config struct {
+	// MaxBudget caps any single session's budget B; 0 means uncapped.
+	MaxBudget float64
+	// MaxSessions bounds live sessions; 0 means unlimited.
+	MaxSessions int
+	// AllowSeeds lets analysts fix their session's RNG seed. Off by
+	// default: an analyst who knows the seed can replay the noise and
+	// recover exact counts, so only enable it for trusted analysts or
+	// reproducible experiments.
+	AllowSeeds bool
+}
+
+// Server wires the registry and session manager to an HTTP API.
+type Server struct {
+	registry   *Registry
+	sessions   *SessionManager
+	allowSeeds bool
+}
+
+// New builds a server over reg with the given policy.
+func New(reg *Registry, cfg Config) *Server {
+	return &Server{
+		registry:   reg,
+		sessions:   NewSessionManager(cfg.MaxBudget, cfg.MaxSessions),
+		allowSeeds: cfg.AllowSeeds,
+	}
+}
+
+// Registry returns the server's dataset registry (the startup loader in
+// cmd/apex-server registers datasets through it).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Sessions returns the server's session manager.
+func (s *Server) Sessions() *SessionManager { return s.sessions }
+
+// Wire types. Every response is JSON; errors use ErrorResponse with a
+// machine-readable code.
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// Error codes.
+const (
+	CodeBadRequest   = "bad_request"    // malformed JSON or parameters
+	CodeParseError   = "parse_error"    // query text failed to parse
+	CodeNotFound     = "not_found"      // unknown dataset or session
+	CodeConflict     = "conflict"       // duplicate dataset name
+	CodePolicyDenied = "policy_denied"  // owner policy (budget cap, session limit)
+	CodeInternal     = "internal_error" // unexpected engine failure
+)
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name   string          `json:"name"`
+	Rows   int             `json:"rows"`
+	Schema *dataset.Schema `json:"schema,omitempty"`
+}
+
+// AddDatasetRequest registers a dataset through the owner endpoint: the
+// public schema plus the sensitive rows as inline CSV (with header).
+type AddDatasetRequest struct {
+	Name   string          `json:"name"`
+	Schema *dataset.Schema `json:"schema"`
+	CSV    string          `json:"csv"`
+}
+
+// CreateSessionRequest opens an analyst session.
+type CreateSessionRequest struct {
+	Dataset string  `json:"dataset"`
+	Budget  float64 `json:"budget"`
+	// Mode is "optimistic" (default) or "pessimistic".
+	Mode string `json:"mode,omitempty"`
+	// Seed fixes the session's mechanism randomness for reproducible runs;
+	// 0 (the default) draws an unpredictable seed. An analyst who knows
+	// the seed can subtract the noise, so leave it 0 unless the analyst
+	// is trusted.
+	Seed int64 `json:"seed,omitempty"`
+	// Reuse enables the §9 inferencer (free re-answers from cached counts).
+	Reuse bool `json:"reuse,omitempty"`
+}
+
+// SessionInfo is the JSON view of one session's budget state.
+type SessionInfo struct {
+	ID        string  `json:"id"`
+	Dataset   string  `json:"dataset"`
+	Mode      string  `json:"mode"`
+	Budget    float64 `json:"budget"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+	Queries   int     `json:"queries"`
+	Created   string  `json:"created"`
+}
+
+// QueryRequest carries one query in the paper's text syntax.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResponse is the engine's reply: either a noisy answer or a denial,
+// always with the session's updated budget state.
+type QueryResponse struct {
+	Denied bool   `json:"denied"`
+	Reason string `json:"reason,omitempty"`
+
+	Mechanism    string    `json:"mechanism,omitempty"`
+	Epsilon      float64   `json:"epsilon"`
+	EpsilonUpper float64   `json:"epsilon_upper"`
+	Counts       []float64 `json:"counts,omitempty"`
+	Selected     []bool    `json:"selected,omitempty"`
+	Predicates   []string  `json:"predicates,omitempty"`
+
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+}
+
+// TranscriptEntry is one audit record (paper §6). Query is the rendered
+// declarative text; external charges carry Label instead.
+type TranscriptEntry struct {
+	Index        int       `json:"index"`
+	Query        string    `json:"query,omitempty"`
+	Label        string    `json:"label,omitempty"`
+	Denied       bool      `json:"denied"`
+	Epsilon      float64   `json:"epsilon"`
+	EpsilonUpper float64   `json:"epsilon_upper,omitempty"`
+	Mechanism    string    `json:"mechanism,omitempty"`
+	Counts       []float64 `json:"counts,omitempty"`
+	Selected     []bool    `json:"selected,omitempty"`
+	Predicates   []string  `json:"predicates,omitempty"`
+}
+
+// TranscriptResponse is the machine-readable session history, re-checked
+// against the Definition 6.1 validity invariant at read time.
+type TranscriptResponse struct {
+	Session string            `json:"session"`
+	Dataset string            `json:"dataset"`
+	Budget  float64           `json:"budget"`
+	Spent   float64           `json:"spent"`
+	Valid   bool              `json:"valid"`
+	Invalid string            `json:"invalid_reason,omitempty"`
+	Entries []TranscriptEntry `json:"entries"`
+}
+
+// Handler returns the route table. Paths are versioned under /v1.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets", s.handleAddDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/sessions/{id}/transcript", s.handleTranscript)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	names := s.registry.Names()
+	out := make([]DatasetInfo, 0, len(names))
+	for _, name := range names {
+		if t, ok := s.registry.Get(name); ok {
+			out = append(out, DatasetInfo{Name: name, Rows: t.Size()})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	t, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetInfo{Name: name, Rows: t.Size(), Schema: t.Schema()})
+}
+
+func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
+	var req AddDatasetRequest
+	if !decodeJSONLimit(w, r, &req, maxDatasetBody) {
+		return
+	}
+	if req.Schema == nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "schema is required")
+		return
+	}
+	table, err := dataset.ReadCSV(strings.NewReader(req.CSV), req.Schema)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if err := s.registry.Add(req.Name, table); err != nil {
+		status, code := http.StatusBadRequest, CodeBadRequest
+		if errors.Is(err, ErrDuplicateDataset) {
+			status, code = http.StatusConflict, CodeConflict
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, DatasetInfo{Name: req.Name, Rows: table.Size(), Schema: req.Schema})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	table, ok := s.registry.Get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		return
+	}
+	mode := engine.Optimistic
+	if req.Mode != "" {
+		var err error
+		if mode, err = engine.ParseMode(req.Mode); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+	}
+	if req.Seed != 0 && !s.allowSeeds {
+		writeError(w, http.StatusForbidden, CodePolicyDenied,
+			"fixed seeds are disabled on this server (a known seed lets the analyst strip the noise); omit seed or ask the owner to enable -allow-seeds")
+		return
+	}
+	sess, err := s.sessions.Create(req.Dataset, table, req.Budget, mode, req.Seed, req.Reuse)
+	if err != nil {
+		status, code := http.StatusBadRequest, CodeBadRequest
+		if errors.Is(err, ErrPolicyDenied) {
+			status, code = http.StatusForbidden, CodePolicyDenied
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	live := s.sessions.List()
+	out := make([]SessionInfo, 0, len(live))
+	for _, sess := range live {
+		out = append(out, sessionInfo(sess))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.Close(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	// Same entry point and error format as the apex CLI.
+	q, err := query.ParseLine(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeParseError, err.Error())
+		return
+	}
+	if q == nil {
+		writeError(w, http.StatusBadRequest, CodeParseError, "empty query")
+		return
+	}
+	eng := sess.Engine()
+	ans, err := eng.AskContext(r.Context(), q)
+	// Budget is immutable, so deriving remaining from one Spent() read
+	// keeps spent+remaining == B even under concurrent queries.
+	spent := eng.Spent()
+	switch {
+	case errors.Is(err, engine.ErrDenied):
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Denied:    true,
+			Reason:    "insufficient privacy budget: no applicable mechanism's worst-case loss fits the remaining budget",
+			Spent:     spent,
+			Remaining: eng.Budget() - spent,
+		})
+	case err != nil && r.Context().Err() != nil:
+		// Client went away; nothing was charged.
+		writeError(w, http.StatusRequestTimeout, CodeBadRequest, "request canceled")
+	case errors.Is(err, engine.ErrMechanismFailure):
+		// The raw error can carry data-dependent values (e.g. an actual
+		// loss that overran its bound), so the analyst gets a generic
+		// body and the detail stays in the server log.
+		log.Printf("server: session %s: %v", sess.ID, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "internal mechanism failure")
+	case err != nil:
+		// Everything else is an analyst-input problem (unknown attribute,
+		// invalid accuracy requirement, ...).
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Mechanism:    ans.Mechanism,
+			Epsilon:      ans.Epsilon,
+			EpsilonUpper: ans.EpsilonUpper,
+			Counts:       ans.Counts,
+			Selected:     ans.Selected,
+			Predicates:   renderPredicates(ans.Predicates),
+			Spent:        spent,
+			Remaining:    eng.Budget() - spent,
+		})
+	}
+}
+
+func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		return
+	}
+	eng := sess.Engine()
+	entries := eng.Transcript()
+	resp := TranscriptResponse{
+		Session: sess.ID,
+		Dataset: sess.Dataset,
+		Budget:  eng.Budget(),
+		Entries: make([]TranscriptEntry, 0, len(entries)),
+	}
+	for i, e := range entries {
+		te := TranscriptEntry{Index: i, Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon}
+		if e.Query != nil {
+			te.Query = e.Query.String()
+		}
+		if e.Answer != nil {
+			te.EpsilonUpper = e.Answer.EpsilonUpper
+			te.Mechanism = e.Answer.Mechanism
+			te.Counts = e.Answer.Counts
+			te.Selected = e.Answer.Selected
+			te.Predicates = renderPredicates(e.Answer.Predicates)
+		}
+		resp.Entries = append(resp.Entries, te)
+	}
+	spent, err := engine.ValidateTranscript(entries, eng.Budget())
+	resp.Spent = spent
+	resp.Valid = err == nil
+	if err != nil {
+		resp.Invalid = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sessionInfo(sess *Session) SessionInfo {
+	eng := sess.Engine()
+	spent := eng.Spent()
+	return SessionInfo{
+		ID:        sess.ID,
+		Dataset:   sess.Dataset,
+		Mode:      eng.Mode().String(),
+		Budget:    eng.Budget(),
+		Spent:     spent,
+		Remaining: eng.Budget() - spent,
+		Queries:   eng.TranscriptLen(),
+		Created:   sess.Created.UTC().Format(time.RFC3339),
+	}
+}
+
+func renderPredicates(preds []dataset.Predicate) []string {
+	out := make([]string, len(preds))
+	for i, p := range preds {
+		out[i] = p.String()
+	}
+	return out
+}
+
+// Request body caps: control-plane requests are tiny; dataset uploads
+// carry inline CSV and get more headroom. Both bound memory per request.
+const (
+	maxControlBody = 1 << 20  // 1 MiB, matches the CLI's line cap
+	maxDatasetBody = 64 << 20 // 64 MiB
+)
+
+// decodeJSON parses a control-plane request body into v, replying 400 and
+// returning false on malformed or oversized input.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	return decodeJSONLimit(w, r, v, maxControlBody)
+}
+
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}

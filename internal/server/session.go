@@ -1,0 +1,160 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/noise"
+)
+
+// ErrPolicyDenied marks owner-policy refusals (budget cap, session limit),
+// as opposed to malformed requests.
+var ErrPolicyDenied = errors.New("server: owner policy denied")
+
+// Session is one analyst's live interaction with one dataset. The engine
+// inside is private to the session — budget isolation between analysts is
+// structural, not policed.
+type Session struct {
+	ID      string
+	Dataset string
+	Created time.Time
+	eng     *engine.Engine
+}
+
+// Engine exposes the session's privacy engine.
+func (s *Session) Engine() *engine.Engine { return s.eng }
+
+// SessionManager creates, finds and closes sessions. Closing a session
+// only forgets it; its transcript lives in the engine, so callers that
+// need a final audit should fetch the transcript first.
+type SessionManager struct {
+	mu          sync.RWMutex
+	sessions    map[string]*Session
+	maxBudget   float64 // 0 means uncapped
+	maxSessions int     // 0 means unlimited
+	now         func() time.Time
+}
+
+// NewSessionManager returns a manager enforcing the owner's per-session
+// budget cap (0 = uncapped) and concurrent session limit (0 = unlimited).
+func NewSessionManager(maxBudget float64, maxSessions int) *SessionManager {
+	return &SessionManager{
+		sessions:    make(map[string]*Session),
+		maxBudget:   maxBudget,
+		maxSessions: maxSessions,
+		now:         time.Now,
+	}
+}
+
+// Create starts a session over table with its own engine. seed drives the
+// session's mechanism randomness — 0 draws an unpredictable seed, which is
+// the only privacy-safe choice when the analyst is untrusted (an analyst
+// who knows the seed can replay the noise and recover exact counts); fixed
+// seeds exist for reproducible tests and experiments. reuse enables the §9
+// inferencer.
+func (m *SessionManager) Create(datasetName string, table *dataset.Table, budget float64, mode engine.Mode, seed int64, reuse bool) (*Session, error) {
+	if m.maxBudget > 0 && budget > m.maxBudget {
+		return nil, fmt.Errorf("%w: budget %g exceeds the owner's per-session cap %g", ErrPolicyDenied, budget, m.maxBudget)
+	}
+	if seed == 0 {
+		var err error
+		if seed, err = randomSeed(); err != nil {
+			return nil, err
+		}
+	}
+	// Fail fast when saturated, before paying for engine construction;
+	// the authoritative re-check below runs under the write lock.
+	if m.maxSessions > 0 {
+		m.mu.RLock()
+		full := len(m.sessions) >= m.maxSessions
+		m.mu.RUnlock()
+		if full {
+			return nil, fmt.Errorf("%w: session limit %d reached", ErrPolicyDenied, m.maxSessions)
+		}
+	}
+	eng, err := engine.New(table, engine.Config{
+		Budget: budget,
+		Mode:   mode,
+		Rng:    noise.NewRand(seed),
+		Reuse:  reuse,
+	})
+	if err != nil {
+		return nil, err
+	}
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{ID: id, Dataset: datasetName, Created: m.now(), eng: eng}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		return nil, fmt.Errorf("%w: session limit %d reached", ErrPolicyDenied, m.maxSessions)
+	}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *SessionManager) Get(id string) (*Session, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Close forgets the session; it reports whether the id existed.
+func (m *SessionManager) Close(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	return ok
+}
+
+// List returns all live sessions ordered by creation time, then id.
+func (m *SessionManager) List() []*Session {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Created.Equal(out[j].Created) {
+			return out[i].Created.Before(out[j].Created)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// newSessionID returns a 16-hex-char random id.
+func newSessionID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// randomSeed returns a nonzero cryptographically random seed.
+func randomSeed() (int64, error) {
+	for {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0, fmt.Errorf("server: session seed: %w", err)
+		}
+		if s := int64(binary.LittleEndian.Uint64(b[:])); s != 0 {
+			return s, nil
+		}
+	}
+}
