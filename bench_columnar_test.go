@@ -1,0 +1,161 @@
+// Columnar data-plane micro-benchmarks: the seed's row-at-a-time
+// evaluation (Transformed.HistogramRows / TrueAnswersRows and a per-row
+// SUM loop) against the columnar kernels that replaced it on the hot
+// path. Run with
+//
+//	go test -run '^$' -bench 'Histogram$|TrueAnswers$|Sum$' -benchmem
+//
+// and see BENCH_columnar.json for recorded before/after numbers. The 1M
+// size is skipped under -short so the CI smoke stays quick.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+var columnarBenchSizes = []struct {
+	name string
+	rows int
+}{
+	{"10k", 10_000},
+	{"100k", 100_000},
+	{"1M", 1_000_000},
+}
+
+// columnarBenchTables caches the generated Adult tables across
+// benchmarks so table synthesis is paid once per size, not per b.Run.
+var columnarBenchTables sync.Map
+
+func columnarBenchTable(rows int) *dataset.Table {
+	if t, ok := columnarBenchTables.Load(rows); ok {
+		return t.(*dataset.Table)
+	}
+	t := datagen.Adult(rows, 1)
+	columnarBenchTables.Store(rows, t)
+	return t
+}
+
+// columnarBenchWorkload mixes the two kernel shapes: continuous range
+// bins over "capital gain" and categorical equalities over "education"
+// (two components, 26 predicates).
+func columnarBenchWorkload(b *testing.B) []dataset.Predicate {
+	b.Helper()
+	bins, err := workload.Histogram1D("capital gain", 0, 5000, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return append(bins, workload.CategoryPredicates("education", datagen.AdultEducations)...)
+}
+
+func columnarBenchTransform(b *testing.B, d *dataset.Table, preds []dataset.Predicate) *workload.Transformed {
+	b.Helper()
+	tr, err := workload.Transform(d.Schema(), preds, workload.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !tr.Materialized() {
+		b.Fatal("bench workload must materialize")
+	}
+	return tr
+}
+
+// BenchmarkHistogram compares x = T_W(D) extraction row-at-a-time vs
+// columnar at each table size.
+func BenchmarkHistogram(b *testing.B) {
+	preds := columnarBenchWorkload(b)
+	for _, sz := range columnarBenchSizes {
+		if sz.rows > 100_000 && testing.Short() {
+			continue
+		}
+		d := columnarBenchTable(sz.rows)
+		tr := columnarBenchTransform(b, d, preds)
+		b.Run("rows="+sz.name+"/path=row", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.HistogramRows(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("rows="+sz.name+"/path=columnar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Histogram(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrueAnswers compares the exact workload answers c_ϕ(D)
+// row-at-a-time vs one compiled kernel per predicate.
+func BenchmarkTrueAnswers(b *testing.B) {
+	preds := columnarBenchWorkload(b)
+	for _, sz := range columnarBenchSizes {
+		if sz.rows > 100_000 && testing.Short() {
+			continue
+		}
+		d := columnarBenchTable(sz.rows)
+		tr := columnarBenchTransform(b, d, preds)
+		b.Run("rows="+sz.name+"/path=row", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr.TrueAnswersRows(d)
+			}
+		})
+		b.Run("rows="+sz.name+"/path=columnar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr.TrueAnswers(d)
+			}
+		})
+	}
+}
+
+// rowPathSums is the seed implementation of the noise-free SUM workload
+// (per-row predicate interpretation), kept here as the benchmark
+// baseline for aggregate.ExactSums.
+func rowPathSums(d *dataset.Table, attr string, preds []dataset.Predicate) []float64 {
+	idx, _ := d.Schema().Lookup(attr)
+	sums := make([]float64, len(preds))
+	for i := 0; i < d.Size(); i++ {
+		row := d.Row(i)
+		v, ok := row[idx].AsNum()
+		if !ok {
+			continue
+		}
+		for j, p := range preds {
+			if p.Eval(d.Schema(), row) {
+				sums[j] += v
+			}
+		}
+	}
+	return sums
+}
+
+// BenchmarkSum compares SUM("capital gain") per education group
+// row-at-a-time vs the compiled-bitmap column kernel.
+func BenchmarkSum(b *testing.B) {
+	preds := workload.CategoryPredicates("education", datagen.AdultEducations)
+	for _, sz := range columnarBenchSizes {
+		if sz.rows > 100_000 && testing.Short() {
+			continue
+		}
+		d := columnarBenchTable(sz.rows)
+		b.Run("rows="+sz.name+"/path=row", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rowPathSums(d, "capital gain", preds)
+			}
+		})
+		b.Run("rows="+sz.name+"/path=columnar", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := aggregate.ExactSums(d, "capital gain", preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

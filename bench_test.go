@@ -22,7 +22,9 @@ import (
 )
 
 // benchConfig is the reduced-scale configuration used inside testing.B so a
-// full -bench sweep stays in the minutes range.
+// full -bench sweep stays in the minutes range. Under -short (the CI
+// compile-and-run smoke: -benchtime=1x -run='^$' -bench=.) it shrinks
+// further so every benchmark kernel executes in seconds.
 func benchConfig() experiments.Config {
 	cfg := experiments.Quick()
 	cfg.AdultSize = 8000
@@ -31,6 +33,14 @@ func benchConfig() experiments.Config {
 	cfg.ERRuns = 4
 	cfg.ERPairs = 400
 	cfg.MCSamples = 1000
+	if testing.Short() {
+		cfg.AdultSize = 1000
+		cfg.TaxiSize = 2000
+		cfg.Runs = 1
+		cfg.ERRuns = 1
+		cfg.ERPairs = 100
+		cfg.MCSamples = 200
+	}
 	return cfg
 }
 

@@ -52,11 +52,12 @@ func main() {
 	}
 	fmt.Printf("median fare ≈ $%.0f (ε=%.4g)\n", med.Value, med.Epsilon)
 
-	// SUM of tips per payment type.
+	// SUM of tips per payment type. The noise comes from the engine's own
+	// random source, so the owner's seed policy covers aggregates too.
 	preds := workload.CategoryPredicates("payment type", []string{"card", "cash"})
 	sums, err := aggregate.Sum(eng, table, "tip amount", preds, accuracy.Requirement{
 		Alpha: 0.1 * float64(table.Size()), Beta: 0.001,
-	}, noise.NewRand(22))
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -21,12 +21,11 @@ package aggregate
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/bits"
 
 	"repro/internal/accuracy"
 	"repro/internal/dataset"
 	"repro/internal/engine"
-	"repro/internal/noise"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
@@ -46,8 +45,11 @@ type SumResult struct {
 //
 // Sum is implemented directly against the engine's table (not via Ask,
 // whose mechanisms are count specific); it charges the engine via
-// engine.ChargeExternal, which enforces the same budget invariants.
-func Sum(eng *engine.Engine, d *dataset.Table, attr string, preds []dataset.Predicate, req accuracy.Requirement, rng *rand.Rand) (*SumResult, error) {
+// engine.ChargeExternal, which enforces the same budget invariants, and
+// draws its Laplace noise from the engine's random source
+// (engine.LaplaceNoise), so the owner's seed policy — crypto-random by
+// default on the server — covers aggregates exactly like counting queries.
+func Sum(eng *engine.Engine, d *dataset.Table, attr string, preds []dataset.Predicate, req accuracy.Requirement) (*SumResult, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,27 +78,72 @@ func Sum(eng *engine.Engine, d *dataset.Table, attr string, preds []dataset.Pred
 	if err := eng.ChargeExternal(eps, eps, fmt.Sprintf("SUM(%s) x%d", attr, len(preds))); err != nil {
 		return nil, err
 	}
-	idx, _ := d.Schema().Lookup(attr)
+	sums, err := ExactSums(d, attr, preds)
+	if err != nil {
+		return nil, err
+	}
+	if eps > 0 {
+		b := sens / eps
+		for j, z := range eng.LaplaceNoise(b, len(sums)) {
+			sums[j] += z
+		}
+	}
+	return &SumResult{Sums: sums, Epsilon: eps}, nil
+}
+
+// ExactSums computes the noise-free per-predicate sums of a continuous
+// attribute with the columnar evaluator: each predicate compiles to a
+// selection bitmap and the sum runs over the packed column slice,
+// skipping rows without a numeric value. Predicates the compiler cannot
+// introspect (dataset.Func) fall back to row-at-a-time evaluation; either
+// way the result matches the row path exactly.
+func ExactSums(d *dataset.Table, attr string, preds []dataset.Predicate) ([]float64, error) {
+	idx, ok := d.Schema().Lookup(attr)
+	if !ok {
+		return nil, fmt.Errorf("aggregate: unknown attribute %q", attr)
+	}
+	vals, missing, ok := d.Floats(idx)
+	if !ok {
+		return nil, fmt.Errorf("aggregate: SUM needs a continuous attribute, %q is categorical", attr)
+	}
 	sums := make([]float64, len(preds))
+	sel := dataset.NewBitmap(d.Size())
+	for j, p := range preds {
+		cp, err := dataset.Compile(d.Schema(), p)
+		if err != nil {
+			sums[j] = rowSum(d, idx, p)
+			continue
+		}
+		cp.EvalInto(d, sel)
+		var s float64
+		mw := missing.Words()
+		for wi, w := range sel.Words() {
+			w &^= mw[wi]
+			base := wi << 6
+			for w != 0 {
+				s += vals[base+bits.TrailingZeros64(w)]
+				w &= w - 1
+			}
+		}
+		sums[j] = s
+	}
+	return sums, nil
+}
+
+// rowSum is the row-at-a-time fallback for one non-compilable predicate.
+func rowSum(d *dataset.Table, idx int, p dataset.Predicate) float64 {
+	var s float64
 	for i := 0; i < d.Size(); i++ {
 		row := d.Row(i)
 		v, ok := row[idx].AsNum()
 		if !ok {
 			continue
 		}
-		for j, p := range preds {
-			if p.Eval(d.Schema(), row) {
-				sums[j] += v
-			}
+		if p.Eval(d.Schema(), row) {
+			s += v
 		}
 	}
-	if eps > 0 {
-		b := sens / eps
-		for j := range sums {
-			sums[j] += noise.Laplace(rng, b)
-		}
-	}
-	return &SumResult{Sums: sums, Epsilon: eps}, nil
+	return s
 }
 
 // QuantileResult is the answer to a quantile query.

@@ -41,7 +41,7 @@ func TestSumAccuracy(t *testing.T) {
 	tab, eng := fixture(t)
 	preds := workload.CategoryPredicates("city", []string{"NYC", "SF", "LA"})
 	req := accuracy.Requirement{Alpha: 5000, Beta: 0.01}
-	res, err := Sum(eng, tab, "amount", preds, req, noise.NewRand(4))
+	res, err := Sum(eng, tab, "amount", preds, req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,13 +74,13 @@ func TestSumValidation(t *testing.T) {
 	tab, eng := fixture(t)
 	preds := workload.CategoryPredicates("city", []string{"NYC"})
 	req := accuracy.Requirement{Alpha: 100, Beta: 0.01}
-	if _, err := Sum(eng, tab, "bogus", preds, req, noise.NewRand(1)); err == nil {
+	if _, err := Sum(eng, tab, "bogus", preds, req); err == nil {
 		t.Fatal("unknown attribute must error")
 	}
-	if _, err := Sum(eng, tab, "city", preds, req, noise.NewRand(1)); err == nil {
+	if _, err := Sum(eng, tab, "city", preds, req); err == nil {
 		t.Fatal("categorical attribute must error")
 	}
-	if _, err := Sum(eng, tab, "amount", preds, accuracy.Requirement{}, noise.NewRand(1)); err == nil {
+	if _, err := Sum(eng, tab, "amount", preds, accuracy.Requirement{}); err == nil {
 		t.Fatal("invalid requirement must error")
 	}
 }
@@ -93,7 +93,7 @@ func TestSumDeniedWhenBudgetTiny(t *testing.T) {
 	}
 	preds := workload.CategoryPredicates("city", []string{"NYC"})
 	req := accuracy.Requirement{Alpha: 100, Beta: 0.01}
-	if _, err := Sum(eng, tab, "amount", preds, req, noise.NewRand(1)); !errors.Is(err, engine.ErrDenied) {
+	if _, err := Sum(eng, tab, "amount", preds, req); !errors.Is(err, engine.ErrDenied) {
 		t.Fatalf("want ErrDenied, got %v", err)
 	}
 	if eng.Spent() != 0 {

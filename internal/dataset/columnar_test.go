@@ -1,0 +1,301 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randTable builds a random table over testSchema-like attributes with
+// NULLs, out-of-domain categorical strings and (optionally) cells whose
+// Value kind mismatches the attribute kind — everything the columnar
+// store must represent exactly.
+func randColumnarTable(rng *rand.Rand, s *Schema, n int, misfits bool) *Table {
+	t := NewTable(s)
+	row := make(Tuple, s.Arity())
+	for i := 0; i < n; i++ {
+		for pos := 0; pos < s.Arity(); pos++ {
+			a := s.Attr(pos)
+			switch r := rng.Float64(); {
+			case r < 0.10:
+				row[pos] = Null
+			case misfits && r < 0.15:
+				// Kind-mismatched cell: Num in a categorical column or
+				// Str in a continuous one.
+				if a.Kind == Categorical {
+					row[pos] = Num(rng.Float64() * 10)
+				} else {
+					row[pos] = Str(fmt.Sprintf("junk%d", rng.Intn(3)))
+				}
+			case a.Kind == Categorical:
+				if rng.Float64() < 0.2 {
+					// Out-of-domain string (legal in CSV imports).
+					row[pos] = Str(fmt.Sprintf("extra%d", rng.Intn(4)))
+				} else {
+					row[pos] = Str(a.Values[rng.Intn(len(a.Values))])
+				}
+			default:
+				row[pos] = Num(a.Min + rng.Float64()*(a.Max-a.Min)*1.2 - (a.Max-a.Min)*0.1)
+			}
+		}
+		t.MustAppend(row)
+	}
+	return t
+}
+
+// randPredicate grows a random predicate AST of bounded depth over the
+// schema, including unknown attributes and kind-mismatched atoms.
+func randPredicate(rng *rand.Rand, s *Schema, depth int) Predicate {
+	attrName := func() string {
+		if rng.Float64() < 0.05 {
+			return "no-such-attr"
+		}
+		return s.Attr(rng.Intn(s.Arity())).Name
+	}
+	if depth <= 0 || rng.Float64() < 0.45 {
+		switch rng.Intn(5) {
+		case 0:
+			return NumCmp{Attr: attrName(), Op: CmpOp(rng.Intn(6)), C: float64(rng.Intn(120) - 10)}
+		case 1:
+			lo := float64(rng.Intn(100))
+			return Range{Attr: attrName(), Lo: lo, Hi: lo + float64(rng.Intn(40))}
+		case 2:
+			vals := []string{"AL", "AK", "WY", "extra0", "extra2", "never-seen"}
+			return StrEq{Attr: attrName(), Val: vals[rng.Intn(len(vals))]}
+		case 3:
+			return IsNull{Attr: attrName()}
+		default:
+			return True{}
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		kids := make(And, rng.Intn(3)+1)
+		for i := range kids {
+			kids[i] = randPredicate(rng, s, depth-1)
+		}
+		return kids
+	case 1:
+		kids := make(Or, rng.Intn(3)+1)
+		for i := range kids {
+			kids[i] = randPredicate(rng, s, depth-1)
+		}
+		return kids
+	default:
+		return Not{P: randPredicate(rng, s, depth-1)}
+	}
+}
+
+// TestCompiledMatchesEvalRandomized is the columnar/row differential
+// test: for random tables (with NULLs, out-of-domain values and
+// kind-mismatched cells) and random predicate ASTs, the compiled
+// evaluator must agree with Predicate.Eval on every single row.
+func TestCompiledMatchesEvalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := testSchema(t)
+	for trial := 0; trial < 60; trial++ {
+		tab := randColumnarTable(rng, s, 50+rng.Intn(150), trial%2 == 0)
+		for k := 0; k < 25; k++ {
+			p := randPredicate(rng, s, 3)
+			cp, err := Compile(s, p)
+			if err != nil {
+				t.Fatalf("compile %s: %v", p, err)
+			}
+			got := cp.Eval(tab)
+			for i := 0; i < tab.Size(); i++ {
+				want := p.Eval(s, tab.Row(i))
+				if got.Get(i) != want {
+					t.Fatalf("trial %d predicate %s row %d (%v): compiled %v, eval %v",
+						trial, p, i, tab.Row(i), got.Get(i), want)
+				}
+			}
+			if got.Count() != tab.Count(p) {
+				t.Fatalf("Count mismatch for %s", p)
+			}
+		}
+	}
+}
+
+// TestCompiledMatchesEvalFromCSV covers the import path: values that
+// arrive via CSV (including out-of-domain categorical strings) must
+// evaluate identically columnar and row-at-a-time after a round trip.
+func TestCompiledMatchesEvalFromCSV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := testSchema(t)
+	tab := randColumnarTable(rng, s, 200, false)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size() != tab.Size() {
+		t.Fatalf("round trip lost rows: %d vs %d", back.Size(), tab.Size())
+	}
+	for k := 0; k < 100; k++ {
+		p := randPredicate(rng, s, 3)
+		cp, err := Compile(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cp.Eval(back)
+		for i := 0; i < back.Size(); i++ {
+			if want := p.Eval(s, back.Row(i)); got.Get(i) != want {
+				t.Fatalf("predicate %s row %d: compiled %v, eval %v", p, i, got.Get(i), want)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsOpaquePredicates(t *testing.T) {
+	s := testSchema(t)
+	f := Func{Name: "f", ReadAttrs: []string{"age"}, Fn: func(*Schema, Tuple) bool { return true }}
+	if _, err := Compile(s, f); err == nil {
+		t.Fatal("Func must not compile")
+	}
+	if _, err := Compile(s, And{True{}, f}); err == nil {
+		t.Fatal("Func nested in And must not compile")
+	}
+	// The row fallback still counts it.
+	tab := NewTable(s)
+	tab.MustAppend(Tuple{Num(1), Str("AL"), Num(2)})
+	if got := tab.Count(f); got != 1 {
+		t.Fatalf("Count fallback = %d", got)
+	}
+}
+
+// TestRowIsACopy pins the compatibility contract of the columnar Table:
+// Row materializes a fresh tuple, so callers cannot mutate the table
+// through it.
+func TestRowIsACopy(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s)
+	tab.MustAppend(Tuple{Num(30), Str("AL"), Num(100)})
+	row := tab.Row(0)
+	row[0] = Num(99)
+	if v, _ := tab.Row(0)[0].AsNum(); v != 30 {
+		t.Fatalf("table mutated through Row view: %v", v)
+	}
+}
+
+// TestAppendReusesCallerTuple pins the new Append contract: cells are
+// copied out, so one buffer can feed many rows (the CSV import path).
+func TestAppendReusesCallerTuple(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s)
+	row := Tuple{Num(1), Str("AL"), Num(2)}
+	tab.MustAppend(row)
+	row[0] = Num(7)
+	row[1] = Str("WY")
+	tab.MustAppend(row)
+	if v, _ := tab.Row(0)[0].AsNum(); v != 1 {
+		t.Fatalf("row 0 aliased the caller buffer: %v", v)
+	}
+	if v, _ := tab.Row(1)[1].AsStr(); v != "WY" {
+		t.Fatalf("row 1 = %v", tab.Row(1))
+	}
+}
+
+func TestSamplePreservesColumnsAndMisfits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := testSchema(t)
+	tab := randColumnarTable(rng, s, 100, true)
+	sm := tab.Sample(40)
+	if sm.Size() != 40 {
+		t.Fatalf("sample size %d", sm.Size())
+	}
+	for i := 0; i < sm.Size(); i++ {
+		a, b := tab.Row(i), sm.Row(i)
+		for pos := range a {
+			if a[pos] != b[pos] {
+				t.Fatalf("row %d pos %d: %v vs %v", i, pos, a[pos], b[pos])
+			}
+		}
+	}
+	// The sample is independent storage: appending must not disturb the
+	// parent, and compiled evaluation over the sample stays exact.
+	sm.MustAppend(Tuple{Num(1), Str("brand-new"), Num(2)})
+	if tab.Size() != 100 {
+		t.Fatalf("parent grew to %d", tab.Size())
+	}
+	p := Or{StrEq{Attr: "state", Val: "brand-new"}, IsNull{Attr: "gain"}}
+	cp, err := Compile(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cp.Eval(sm)
+	for i := 0; i < sm.Size(); i++ {
+		if want := p.Eval(s, sm.Row(i)); got.Get(i) != want {
+			t.Fatalf("sample row %d: compiled %v, eval %v", i, got.Get(i), want)
+		}
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(70) // straddles a word boundary
+	if b.Count() != 0 || b.Len() != 70 {
+		t.Fatalf("fresh bitmap: count %d len %d", b.Count(), b.Len())
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(69)
+	if b.Count() != 4 || !b.Get(63) || !b.Get(64) || b.Get(1) {
+		t.Fatalf("after sets: count %d", b.Count())
+	}
+	b.Clear(63)
+	if b.Count() != 3 || b.Get(63) {
+		t.Fatal("clear failed")
+	}
+	b.Not()
+	if b.Count() != 67 {
+		t.Fatalf("Not must respect the tail mask: count %d", b.Count())
+	}
+	b.SetAll()
+	if b.Count() != 70 {
+		t.Fatalf("SetAll: count %d", b.Count())
+	}
+	o := NewBitmap(70)
+	o.Set(5)
+	b.And(o)
+	if b.Count() != 1 || !b.Get(5) {
+		t.Fatal("And failed")
+	}
+	o.Set(6)
+	b.Or(o)
+	if b.Count() != 2 {
+		t.Fatal("Or failed")
+	}
+	var g Bitmap
+	for i := 0; i < 130; i++ {
+		g.appendBit(i%3 == 0)
+	}
+	if g.Len() != 130 || g.Count() != 44 {
+		t.Fatalf("appendBit: len %d count %d", g.Len(), g.Count())
+	}
+}
+
+func TestDistinctValuesSeesMisfitStrings(t *testing.T) {
+	s := testSchema(t)
+	tab := NewTable(s)
+	tab.MustAppend(Tuple{Str("stray"), Str("AL"), Num(1)}) // Str in continuous "age"
+	tab.MustAppend(Tuple{Num(4), Str("zz-extra"), Num(1)}) // out-of-domain state
+	vals, err := tab.DistinctValues("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != "stray" {
+		t.Fatalf("DistinctValues(age) = %v", vals)
+	}
+	states, err := tab.DistinctValues("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(states, ",") != "AL,zz-extra" {
+		t.Fatalf("DistinctValues(state) = %v", states)
+	}
+}

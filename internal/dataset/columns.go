@@ -1,0 +1,193 @@
+package dataset
+
+import "math/bits"
+
+// Bitmap is a fixed-length bitset over row indices — the selection vector
+// of the columnar evaluator. The zero value is an empty bitmap; Reset
+// sizes it. Bitmaps are not safe for concurrent mutation.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns a zeroed bitmap over n rows.
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{}
+	b.Reset(n)
+	return b
+}
+
+// Reset resizes the bitmap to n rows and clears every bit, reusing the
+// backing storage when it is large enough.
+func (b *Bitmap) Reset(n int) {
+	w := (n + 63) >> 6
+	if cap(b.words) < w {
+		b.words = make([]uint64, w)
+	} else {
+		b.words = b.words[:w]
+		for i := range b.words {
+			b.words[i] = 0
+		}
+	}
+	b.n = n
+}
+
+// Len returns the number of rows the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Get reports bit i.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// SetAll sets every bit in [0, Len).
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.maskTail()
+}
+
+// maskTail zeroes the unused bits of the last word so Count and Not stay
+// exact.
+func (b *Bitmap) maskTail() {
+	if r := uint(b.n) & 63; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << r) - 1
+	}
+}
+
+// And intersects b with o in place. The bitmaps must have equal length.
+func (b *Bitmap) And(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// Or unions o into b in place. The bitmaps must have equal length.
+func (b *Bitmap) Or(o *Bitmap) {
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// Not flips every bit in [0, Len) in place.
+func (b *Bitmap) Not() {
+	for i := range b.words {
+		b.words[i] = ^b.words[i]
+	}
+	b.maskTail()
+}
+
+// CopyFrom makes b an exact copy of o.
+func (b *Bitmap) CopyFrom(o *Bitmap) {
+	b.Reset(o.n)
+	copy(b.words, o.words)
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Words exposes the backing words (64 rows per word, row i at word i/64
+// bit i%64); the unused tail bits of the last word are always zero.
+// Callers must treat the slice as read-only.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// appendBit grows the bitmap by one row, optionally setting it.
+func (b *Bitmap) appendBit(set bool) {
+	i := b.n
+	b.n++
+	if w := (b.n + 63) >> 6; w > len(b.words) {
+		if w <= cap(b.words) {
+			b.words = b.words[:w]
+			b.words[w-1] = 0
+		} else {
+			nw := make([]uint64, w, 2*w+2)
+			copy(nw, b.words)
+			b.words = nw
+		}
+	}
+	if set {
+		b.Set(i)
+	}
+}
+
+// clonePrefix returns an independent copy of the first n rows.
+func (b *Bitmap) clonePrefix(n int) Bitmap {
+	var out Bitmap
+	out.Reset(n)
+	copy(out.words, b.words)
+	out.maskTail()
+	return out
+}
+
+// Sentinel codes of catColumn: cells that hold no dictionary string.
+const (
+	nullCode   int32 = -1 // NULL cell
+	misfitCode int32 = -2 // kind-mismatched cell, stored in Table.misfits
+)
+
+// catColumn is the dictionary-encoded storage of a categorical attribute:
+// one int32 code per row indexing dict. The dictionary is seeded with the
+// public domain (so domain values get stable codes) and grows with any
+// out-of-domain strings the data carries.
+type catColumn struct {
+	codes []int32
+	dict  []string
+	index map[string]int32
+}
+
+func newCatColumn(domain []string) *catColumn {
+	c := &catColumn{index: make(map[string]int32, len(domain))}
+	for _, v := range domain {
+		c.code(v)
+	}
+	return c
+}
+
+// code interns v, returning its dictionary code.
+func (c *catColumn) code(v string) int32 {
+	if id, ok := c.index[v]; ok {
+		return id
+	}
+	id := int32(len(c.dict))
+	c.dict = append(c.dict, v)
+	c.index[v] = id
+	return id
+}
+
+func (c *catColumn) clonePrefix(n int) *catColumn {
+	out := &catColumn{
+		codes: append([]int32(nil), c.codes[:n]...),
+		dict:  append([]string(nil), c.dict...),
+		index: make(map[string]int32, len(c.index)),
+	}
+	for k, v := range c.index {
+		out.index[k] = v
+	}
+	return out
+}
+
+// numColumn is the packed storage of a continuous attribute: one float64
+// per row plus a missing bitmap (set where the cell holds no number —
+// NULL or a kind-mismatched value recorded in Table.misfits).
+type numColumn struct {
+	vals    []float64
+	missing Bitmap
+}
+
+func (c *numColumn) clonePrefix(n int) *numColumn {
+	return &numColumn{
+		vals:    append([]float64(nil), c.vals[:n]...),
+		missing: c.missing.clonePrefix(n),
+	}
+}

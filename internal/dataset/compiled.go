@@ -1,0 +1,325 @@
+package dataset
+
+import "fmt"
+
+// CompiledPredicate is a predicate bound to a schema with every per-row
+// lookup hoisted out of the scan: attribute names are resolved to column
+// positions and categorical constants to dictionary codes once, and
+// evaluation runs over column slices into a selection Bitmap.
+//
+// Compiled evaluation matches Predicate.Eval exactly, including NULL
+// semantics, out-of-domain values and kind-mismatched cells (the rare
+// misfit rows are patched with a row-at-a-time pass). A CompiledPredicate
+// is immutable after Compile and safe for concurrent use.
+type CompiledPredicate struct {
+	schema *Schema
+	src    Predicate
+	prog   prog
+}
+
+// Compile builds the vectorized evaluator for p over schema s. It returns
+// an error for predicates it cannot introspect (dataset.Func and other
+// custom implementations); callers are expected to fall back to the
+// row-at-a-time path then.
+func Compile(s *Schema, p Predicate) (*CompiledPredicate, error) {
+	pr, err := compileNode(s, p)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledPredicate{schema: s, src: p, prog: pr}, nil
+}
+
+// Predicate returns the source predicate.
+func (cp *CompiledPredicate) Predicate() Predicate { return cp.src }
+
+// String implements fmt.Stringer.
+func (cp *CompiledPredicate) String() string { return cp.src.String() }
+
+// Eval evaluates the predicate over every row of t into a fresh bitmap.
+// The table must conform to the schema the predicate was compiled for.
+func (cp *CompiledPredicate) Eval(t *Table) *Bitmap {
+	dst := NewBitmap(t.Size())
+	cp.EvalInto(t, dst)
+	return dst
+}
+
+// EvalInto is Eval into a caller-owned bitmap (resized and overwritten),
+// letting hot loops reuse one selection vector across predicates.
+func (cp *CompiledPredicate) EvalInto(t *Table, dst *Bitmap) {
+	dst.Reset(t.Size())
+	var sc scratch
+	cp.prog.run(t, dst, &sc)
+	// Misfit rows (kind-mismatched cells) carry per-row semantics the
+	// typed kernels cannot see; re-evaluate those rows exactly. The list
+	// is empty for every table built from CSV or well-kinded tuples.
+	for _, r := range t.misfitRows {
+		if cp.src.Eval(t.schema, t.Row(r)) {
+			dst.Set(r)
+		} else {
+			dst.Clear(r)
+		}
+	}
+}
+
+// prog is one node of the compiled program. run may assume dst is zeroed
+// and sized to the table, and must leave exactly the matching rows set
+// (misfit rows excepted; EvalInto patches those). sc lends temporary
+// bitmaps to boolean nodes so one evaluation reuses a handful of
+// buffers instead of allocating per node.
+type prog interface {
+	run(t *Table, dst *Bitmap, sc *scratch)
+}
+
+// scratch is a tiny free list of temporary bitmaps for one evaluation.
+// The zero value is ready to use.
+type scratch struct {
+	free []*Bitmap
+}
+
+func (s *scratch) get(n int) *Bitmap {
+	if k := len(s.free); k > 0 {
+		b := s.free[k-1]
+		s.free = s.free[:k-1]
+		b.Reset(n)
+		return b
+	}
+	return NewBitmap(n)
+}
+
+func (s *scratch) put(b *Bitmap) { s.free = append(s.free, b) }
+
+func compileNode(s *Schema, p Predicate) (prog, error) {
+	switch q := p.(type) {
+	case NumCmp:
+		pos, ok := s.Lookup(q.Attr)
+		if !ok || s.Attr(pos).Kind != Continuous {
+			// Unknown attribute never matches; a numeric comparison on a
+			// categorical column can only match misfit cells, which the
+			// fixup pass handles.
+			return falseProg{}, nil
+		}
+		return numCmpProg{pos: pos, op: q.Op, c: q.C}, nil
+	case Range:
+		pos, ok := s.Lookup(q.Attr)
+		if !ok || s.Attr(pos).Kind != Continuous {
+			return falseProg{}, nil
+		}
+		return rangeProg{pos: pos, lo: q.Lo, hi: q.Hi}, nil
+	case StrEq:
+		pos, ok := s.Lookup(q.Attr)
+		if !ok || s.Attr(pos).Kind != Categorical {
+			return falseProg{}, nil
+		}
+		return strEqProg{pos: pos, val: q.Val}, nil
+	case IsNull:
+		pos, ok := s.Lookup(q.Attr)
+		if !ok {
+			return falseProg{}, nil
+		}
+		return isNullProg{pos: pos, cat: s.Attr(pos).Kind == Categorical}, nil
+	case And:
+		children, err := compileChildren(s, q)
+		if err != nil {
+			return nil, err
+		}
+		return andProg{children}, nil
+	case Or:
+		children, err := compileChildren(s, q)
+		if err != nil {
+			return nil, err
+		}
+		return orProg{children}, nil
+	case Not:
+		child, err := compileNode(s, q.P)
+		if err != nil {
+			return nil, err
+		}
+		return notProg{child}, nil
+	case True:
+		return trueProg{}, nil
+	default:
+		return nil, fmt.Errorf("dataset: cannot compile predicate type %T (opaque evaluation function)", p)
+	}
+}
+
+func compileChildren(s *Schema, ps []Predicate) ([]prog, error) {
+	out := make([]prog, len(ps))
+	for i, p := range ps {
+		c, err := compileNode(s, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+type falseProg struct{}
+
+func (falseProg) run(*Table, *Bitmap, *scratch) {}
+
+type trueProg struct{}
+
+func (trueProg) run(t *Table, dst *Bitmap, _ *scratch) { dst.SetAll() }
+
+type numCmpProg struct {
+	pos int
+	op  CmpOp
+	c   float64
+}
+
+func (p numCmpProg) run(t *Table, dst *Bitmap, _ *scratch) {
+	col := t.nums[p.pos]
+	vals := col.vals
+	c := p.c
+	// One tight loop per operator; the missing mask is applied wholesale
+	// afterwards (NULL never satisfies a comparison).
+	switch p.op {
+	case Eq:
+		for i, v := range vals {
+			if v == c {
+				dst.Set(i)
+			}
+		}
+	case Ne:
+		for i, v := range vals {
+			if v != c {
+				dst.Set(i)
+			}
+		}
+	case Lt:
+		for i, v := range vals {
+			if v < c {
+				dst.Set(i)
+			}
+		}
+	case Le:
+		for i, v := range vals {
+			if v <= c {
+				dst.Set(i)
+			}
+		}
+	case Gt:
+		for i, v := range vals {
+			if v > c {
+				dst.Set(i)
+			}
+		}
+	case Ge:
+		for i, v := range vals {
+			if v >= c {
+				dst.Set(i)
+			}
+		}
+	default:
+		return
+	}
+	andNotWords(dst.words, col.missing.words)
+}
+
+type rangeProg struct {
+	pos    int
+	lo, hi float64
+}
+
+func (p rangeProg) run(t *Table, dst *Bitmap, _ *scratch) {
+	col := t.nums[p.pos]
+	lo, hi := p.lo, p.hi
+	for i, v := range col.vals {
+		if v >= lo && v < hi {
+			dst.Set(i)
+		}
+	}
+	andNotWords(dst.words, col.missing.words)
+}
+
+type strEqProg struct {
+	pos int
+	val string
+}
+
+func (p strEqProg) run(t *Table, dst *Bitmap, _ *scratch) {
+	col := t.cats[p.pos]
+	code, ok := col.index[p.val]
+	if !ok {
+		return // the constant never entered this table's dictionary
+	}
+	for i, c := range col.codes {
+		if c == code {
+			dst.Set(i)
+		}
+	}
+}
+
+type isNullProg struct {
+	pos int
+	cat bool
+}
+
+func (p isNullProg) run(t *Table, dst *Bitmap, _ *scratch) {
+	if p.cat {
+		for i, c := range t.cats[p.pos].codes {
+			if c == nullCode {
+				dst.Set(i)
+			}
+		}
+		return
+	}
+	// The missing bitmap covers NULLs plus misfits; fixup separates them.
+	copy(dst.words, t.nums[p.pos].missing.words)
+	dst.maskTail()
+}
+
+type andProg struct{ children []prog }
+
+func (p andProg) run(t *Table, dst *Bitmap, sc *scratch) {
+	if len(p.children) == 0 {
+		dst.SetAll() // the empty conjunction is TRUE
+		return
+	}
+	p.children[0].run(t, dst, sc)
+	if len(p.children) == 1 {
+		return
+	}
+	tmp := sc.get(t.Size())
+	for _, c := range p.children[1:] {
+		tmp.Reset(t.Size())
+		c.run(t, tmp, sc)
+		dst.And(tmp)
+	}
+	sc.put(tmp)
+}
+
+type orProg struct{ children []prog }
+
+func (p orProg) run(t *Table, dst *Bitmap, sc *scratch) {
+	if len(p.children) == 0 {
+		return // the empty disjunction is FALSE
+	}
+	p.children[0].run(t, dst, sc)
+	if len(p.children) == 1 {
+		return
+	}
+	tmp := sc.get(t.Size())
+	for _, c := range p.children[1:] {
+		tmp.Reset(t.Size())
+		c.run(t, tmp, sc)
+		dst.Or(tmp)
+	}
+	sc.put(tmp)
+}
+
+type notProg struct{ child prog }
+
+func (p notProg) run(t *Table, dst *Bitmap, sc *scratch) {
+	p.child.run(t, dst, sc)
+	dst.Not()
+}
+
+// andNotWords clears in a the bits set in b (a &^= b), tolerating a
+// shorter b (missing bitmaps and selection vectors always share length).
+func andNotWords(a, b []uint64) {
+	for i := range b {
+		a[i] &^= b[i]
+	}
+}

@@ -35,9 +35,12 @@ func WriteCSV(w io.Writer, t *Table) error {
 
 // ReadCSV reads a table conforming to the schema from CSV with a header
 // row. Columns are matched to attributes by header name; empty cells load
-// as NULL; cells of continuous attributes must parse as floats.
+// as NULL; cells of continuous attributes must parse as floats. Records
+// stream straight into the table's columnar storage through one reused
+// row buffer, so import allocates no per-row tuples.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: read header: %w", err)
@@ -51,6 +54,7 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 		colToAttr[c] = idx
 	}
 	tab := NewTable(schema)
+	row := make(Tuple, schema.Arity())
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -59,7 +63,9 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
 		}
-		row := make(Tuple, schema.Arity())
+		for i := range row {
+			row[i] = Null
+		}
 		for c, cell := range rec {
 			attrIdx := colToAttr[c]
 			attr := schema.Attr(attrIdx)

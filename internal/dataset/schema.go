@@ -3,13 +3,20 @@
 // table instances, a typed predicate AST used to express exploration
 // workloads, and CSV import/export.
 //
+// Tables are stored column-major — dictionary-encoded int32 codes for
+// categorical attributes, packed float64s plus a missing bitmap for
+// continuous ones — and predicates can be compiled (Compile) into
+// vectorized programs that evaluate a whole column slice into a selection
+// Bitmap, resolving attribute positions and category codes once instead
+// of per row. The row-at-a-time Predicate.Eval remains the semantic
+// reference; the compiled path matches it exactly.
+//
 // The paper assumes the schema and full attribute domains are public
 // (§3); only the table instance is sensitive.
 package dataset
 
 import (
 	"fmt"
-	"sort"
 )
 
 // AttrKind distinguishes categorical from continuous attributes.
@@ -159,84 +166,6 @@ func (v Value) String() string {
 	}
 }
 
-// Tuple is one row; cells are indexed by schema position.
-type Tuple []Value
-
-// Table is a multiset of tuples conforming to a schema.
-type Table struct {
-	schema *Schema
-	rows   []Tuple
-}
-
-// NewTable returns an empty table over the schema.
-func NewTable(schema *Schema) *Table {
-	return &Table{schema: schema}
-}
-
-// Schema returns the table's schema.
-func (t *Table) Schema() *Schema { return t.schema }
-
-// Size returns the number of rows |D|.
-func (t *Table) Size() int { return len(t.rows) }
-
-// Row returns the i-th tuple (shared, not copied).
-func (t *Table) Row(i int) Tuple { return t.rows[i] }
-
-// Append adds a tuple; it must have the schema's arity.
-func (t *Table) Append(row Tuple) error {
-	if len(row) != t.schema.Arity() {
-		return fmt.Errorf("dataset: tuple arity %d, schema arity %d", len(row), t.schema.Arity())
-	}
-	t.rows = append(t.rows, row)
-	return nil
-}
-
-// MustAppend is Append that panics on error.
-func (t *Table) MustAppend(row Tuple) {
-	if err := t.Append(row); err != nil {
-		panic(err)
-	}
-}
-
-// Count returns the number of rows satisfying p.
-func (t *Table) Count(p Predicate) int {
-	var n int
-	for _, r := range t.rows {
-		if p.Eval(t.schema, r) {
-			n++
-		}
-	}
-	return n
-}
-
-// Sample returns a new table with the first n rows (or all rows if fewer).
-func (t *Table) Sample(n int) *Table {
-	if n > len(t.rows) {
-		n = len(t.rows)
-	}
-	out := NewTable(t.schema)
-	out.rows = append(out.rows, t.rows[:n]...)
-	return out
-}
-
-// DistinctValues returns the sorted distinct non-null string values of a
-// categorical attribute present in the table (a helper for exploration
-// tooling; the public domain remains the schema's).
-func (t *Table) DistinctValues(attr string) ([]string, error) {
-	idx, ok := t.schema.Lookup(attr)
-	if !ok {
-		return nil, fmt.Errorf("dataset: unknown attribute %q", attr)
-	}
-	set := make(map[string]struct{})
-	for _, r := range t.rows {
-		if s, ok := r[idx].AsStr(); ok {
-			set[s] = struct{}{}
-		}
-	}
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out, nil
-}
+// Tuple and Table (the columnar storage behind the row API) live in
+// table.go; the predicate AST in predicate.go; the columnar predicate
+// evaluator in compiled.go.

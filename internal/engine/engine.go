@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/mechanism"
+	"repro/internal/noise"
 	"repro/internal/query"
 	"repro/internal/strategy"
 	"repro/internal/workload"
@@ -130,6 +131,14 @@ type Config struct {
 	Rng *rand.Rand
 	// TransformOptions tunes workload transformation limits.
 	TransformOptions workload.Options
+	// Transforms, when set, is the workload transformation cache the
+	// engine evaluates through — typically one shared cache per dataset
+	// (the server wires one up per registered table) so concurrent
+	// sessions asking the same workload share one transformation and one
+	// noise-free Histogram/TrueAnswers scan. Nil means a private cache
+	// built from TransformOptions; when Transforms is set it wins and
+	// TransformOptions is ignored.
+	Transforms *workload.TransformCache
 	// Reuse enables the inferencer (§9 extension): answered WCQ counts are
 	// cached and later queries over the same workload with an equal-or-
 	// looser accuracy requirement are answered as free post-processing.
@@ -145,12 +154,11 @@ type Engine struct {
 	mode   Mode
 	mechs  []mechanism.Mechanism
 	rng    *rand.Rand
-	topt   workload.Options
 	log    []Entry
 
-	trCache map[string]*workload.Transformed
-	reuse   bool
-	answers map[string]*cachedAnswer
+	transforms *workload.TransformCache
+	reuse      bool
+	answers    map[string]*cachedAnswer
 }
 
 // DefaultMechanisms returns the full suite the paper's APEx supports: the
@@ -181,16 +189,19 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	transforms := cfg.Transforms
+	if transforms == nil {
+		transforms = workload.NewTransformCache(cfg.TransformOptions)
+	}
 	return &Engine{
-		data:    d,
-		budget:  cfg.Budget,
-		mode:    cfg.Mode,
-		mechs:   mechs,
-		rng:     rng,
-		topt:    cfg.TransformOptions,
-		trCache: make(map[string]*workload.Transformed),
-		reuse:   cfg.Reuse,
-		answers: make(map[string]*cachedAnswer),
+		data:       d,
+		budget:     cfg.Budget,
+		mode:       cfg.Mode,
+		mechs:      mechs,
+		rng:        rng,
+		transforms: transforms,
+		reuse:      cfg.Reuse,
+		answers:    make(map[string]*cachedAnswer),
 	}, nil
 }
 
@@ -288,7 +299,7 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 		return nil, err
 	}
 
-	key := workloadKey(q.Predicates)
+	key := workload.Key(q.Predicates)
 	if ans := e.tryReuse(q, key); ans != nil {
 		e.log = append(e.log, Entry{Query: q, Answer: ans})
 		return ans, nil
@@ -361,6 +372,18 @@ func (e *Engine) ChargeExternal(upper, actual float64, label string) error {
 	return nil
 }
 
+// LaplaceNoise draws n independent Laplace(0, b) samples from the
+// engine's own random source — the source the owner's seed policy
+// governs. Mechanisms that run outside the engine's suite (the Appendix E
+// aggregate extensions) must draw their noise here rather than from a
+// caller-supplied generator, so a server's crypto-random-by-default rule
+// covers them too.
+func (e *Engine) LaplaceNoise(b float64, n int) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return noise.LaplaceVec(e.rng, b, n)
+}
+
 // better reports whether a should be preferred over b under the engine mode.
 func (e *Engine) better(a, b Choice) bool {
 	if e.mode == Optimistic {
@@ -375,33 +398,13 @@ func (e *Engine) better(a, b Choice) bool {
 	return a.Cost.Lower < b.Cost.Lower
 }
 
-// transform computes (and caches) T(W) for the query's workload. The cache
-// key is the rendered workload, so repeated strategies (common in the
-// entity-resolution case study) skip re-partitioning.
+// transform computes (and caches) T(W) for the query's workload through
+// the engine's transformation cache; repeated workloads (common in the
+// entity-resolution case study) skip re-partitioning, and with a shared
+// cache (Config.Transforms) concurrent sessions share one transformation
+// and one noise-free evaluation per workload.
 func (e *Engine) transform(q *query.Query) (*workload.Transformed, error) {
-	key := workloadKey(q.Predicates)
-	e.mu.Lock()
-	if tr, ok := e.trCache[key]; ok {
-		e.mu.Unlock()
-		return tr, nil
-	}
-	e.mu.Unlock()
-	tr, err := workload.Transform(e.data.Schema(), q.Predicates, e.topt)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.trCache[key] = tr
-	e.mu.Unlock()
-	return tr, nil
-}
-
-func workloadKey(preds []dataset.Predicate) string {
-	key := ""
-	for _, p := range preds {
-		key += p.String() + "\x00"
-	}
-	return key
+	return e.transforms.Transform(e.data.Schema(), q.Predicates)
 }
 
 // ValidateTranscript checks the §6 validity invariants (Definition 6.1) on

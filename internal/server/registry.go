@@ -7,7 +7,11 @@
 // Each session owns an isolated engine (its own budget B, translator mode
 // and random source), so concurrent analysts cannot observe or drain each
 // other's budgets; the engine's own locking keeps individual sessions
-// race-safe under concurrent requests.
+// race-safe under concurrent requests. What sessions over the same
+// dataset do share is the registry's per-dataset evaluation cache: one
+// workload transformation and one noise-free Histogram/TrueAnswers scan
+// per distinct workload, with noise still drawn per session by the
+// mechanisms — cached noise-free values never leave the server.
 package server
 
 import (
@@ -18,22 +22,32 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/workload"
 )
 
 // ErrDuplicateDataset is returned when registering a name that is taken.
 var ErrDuplicateDataset = errors.New("server: dataset already registered")
+
+// Dataset is one registered table plus the evaluation cache every session
+// over it shares.
+type Dataset struct {
+	Table *dataset.Table
+	// Transforms caches workload transformations and their noise-free
+	// evaluations across all of the dataset's sessions.
+	Transforms *workload.TransformCache
+}
 
 // Registry is the thread-safe catalog of named sensitive tables the server
 // hosts. Tables are immutable once registered; sessions hold direct
 // references, so a table can never change under a live session.
 type Registry struct {
 	mu     sync.RWMutex
-	tables map[string]*dataset.Table
+	tables map[string]*Dataset
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{tables: make(map[string]*dataset.Table)}
+	return &Registry{tables: make(map[string]*Dataset)}
 }
 
 // Add registers a table under name. Names are unique: re-registering is an
@@ -50,7 +64,10 @@ func (r *Registry) Add(name string, t *dataset.Table) error {
 	if _, dup := r.tables[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	r.tables[name] = t
+	r.tables[name] = &Dataset{
+		Table:      t,
+		Transforms: workload.NewTransformCache(workload.Options{}),
+	}
 	return nil
 }
 
@@ -97,10 +114,20 @@ func (r *Registry) LoadFiles(name, csvPath, schemaPath string) error {
 
 // Get returns the named table.
 func (r *Registry) Get(name string) (*dataset.Table, bool) {
+	d, ok := r.Dataset(name)
+	if !ok {
+		return nil, false
+	}
+	return d.Table, true
+}
+
+// Dataset returns the named table together with its shared evaluation
+// cache.
+func (r *Registry) Dataset(name string) (*Dataset, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	t, ok := r.tables[name]
-	return t, ok
+	d, ok := r.tables[name]
+	return d, ok
 }
 
 // Names returns the registered dataset names, sorted.

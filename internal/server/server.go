@@ -231,7 +231,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	table, ok := s.registry.Get(req.Dataset)
+	ds, ok := s.registry.Dataset(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
 		return
@@ -249,7 +249,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			"fixed seeds are disabled on this server (a known seed lets the analyst strip the noise); omit seed or ask the owner to enable -allow-seeds")
 		return
 	}
-	sess, err := s.sessions.Create(req.Dataset, table, req.Budget, mode, req.Seed, req.Reuse)
+	sess, err := s.sessions.Create(req.Dataset, ds, req.Budget, mode, req.Seed, req.Reuse)
 	if err != nil {
 		status, code := http.StatusBadRequest, CodeBadRequest
 		if errors.Is(err, ErrPolicyDenied) {

@@ -10,7 +10,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/noise"
 )
@@ -54,13 +53,15 @@ func NewSessionManager(maxBudget float64, maxSessions int) *SessionManager {
 	}
 }
 
-// Create starts a session over table with its own engine. seed drives the
-// session's mechanism randomness — 0 draws an unpredictable seed, which is
-// the only privacy-safe choice when the analyst is untrusted (an analyst
-// who knows the seed can replay the noise and recover exact counts); fixed
-// seeds exist for reproducible tests and experiments. reuse enables the §9
-// inferencer.
-func (m *SessionManager) Create(datasetName string, table *dataset.Table, budget float64, mode engine.Mode, seed int64, reuse bool) (*Session, error) {
+// Create starts a session over ds with its own engine but the dataset's
+// shared evaluation cache (one workload transformation and one noise-free
+// scan per distinct workload across all of the dataset's sessions). seed
+// drives the session's mechanism randomness — 0 draws an unpredictable
+// seed, which is the only privacy-safe choice when the analyst is
+// untrusted (an analyst who knows the seed can replay the noise and
+// recover exact counts); fixed seeds exist for reproducible tests and
+// experiments. reuse enables the §9 inferencer.
+func (m *SessionManager) Create(datasetName string, ds *Dataset, budget float64, mode engine.Mode, seed int64, reuse bool) (*Session, error) {
 	if m.maxBudget > 0 && budget > m.maxBudget {
 		return nil, fmt.Errorf("%w: budget %g exceeds the owner's per-session cap %g", ErrPolicyDenied, budget, m.maxBudget)
 	}
@@ -80,11 +81,12 @@ func (m *SessionManager) Create(datasetName string, table *dataset.Table, budget
 			return nil, fmt.Errorf("%w: session limit %d reached", ErrPolicyDenied, m.maxSessions)
 		}
 	}
-	eng, err := engine.New(table, engine.Config{
-		Budget: budget,
-		Mode:   mode,
-		Rng:    noise.NewRand(seed),
-		Reuse:  reuse,
+	eng, err := engine.New(ds.Table, engine.Config{
+		Budget:     budget,
+		Mode:       mode,
+		Rng:        noise.NewRand(seed),
+		Reuse:      reuse,
+		Transforms: ds.Transforms,
 	})
 	if err != nil {
 		return nil, err

@@ -20,8 +20,10 @@ package workload
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/linalg"
@@ -62,7 +64,43 @@ type Transformed struct {
 
 	parts int            // total partitions (product of component counts)
 	mat   *linalg.Matrix // L×parts, nil when implicit
+
+	// Columnar evaluation state: the compiled predicate kernels are built
+	// lazily on first Histogram/TrueAnswers call and shared by every
+	// subsequent evaluation (a Transformed is immutable once built, so
+	// concurrent sessions can evaluate through it). memo, when non-nil
+	// (set by TransformCache), additionally caches the noise-free results
+	// per table.
+	kOnce sync.Once
+	k     colKernels
+	memo  *evalMemo
 }
+
+// colKernels holds the compiled columnar evaluators for one workload.
+type colKernels struct {
+	// err non-nil means some predicate is not compilable (an opaque
+	// dataset.Func); every evaluation falls back to the row path.
+	err error
+	// preds are the compiled kernels, aligned with Transformed.preds.
+	preds []*dataset.CompiledPredicate
+	// comps holds per-component signature lookups for the vectorized
+	// partition kernel; nil when some component is too wide (> 64
+	// predicates), in which case Histogram falls back to the row path
+	// while TrueAnswers stays columnar.
+	comps []compiledComp
+}
+
+// compiledComp maps a component's predicate-satisfaction bitmask (bit bi
+// set ⇔ predicate predIdx[bi] holds) to its partition index. Narrow
+// components use a dense table, wider ones a map.
+type compiledComp struct {
+	width  int
+	dense  []int32 // len 1<<width when width <= denseSigWidth; -1 = unseen
+	lookup map[uint64]int32
+}
+
+// denseSigWidth bounds the dense signature table at 1<<16 entries.
+const denseSigWidth = 16
 
 type component struct {
 	predIdx []int // global predicate indices owned by this component
@@ -164,9 +202,101 @@ func (tr *Transformed) NumPartitions() int { return tr.parts }
 // Matrix returns the L×|domW(R)| query matrix, or nil when implicit.
 func (tr *Transformed) Matrix() *linalg.Matrix { return tr.mat }
 
-// Histogram computes x = T_W(D), the per-partition tuple counts. It errors
-// if the workload is implicit or a tuple falls outside the public domain.
+// Histogram computes x = T_W(D), the per-partition tuple counts, with one
+// columnar pass per referenced column (vectorized mixed-radix partition
+// codes) instead of a per-row predicate interpretation. It errors if the
+// workload is implicit or a tuple falls outside the public domain. When
+// the Transformed came from a TransformCache, the noise-free result is
+// memoized per table and shared across callers.
 func (tr *Transformed) Histogram(d *dataset.Table) ([]float64, error) {
+	if tr.mat == nil {
+		return nil, fmt.Errorf("workload: histogram unavailable for implicit transformation")
+	}
+	if tr.memo != nil {
+		return tr.memo.histogram(tr, d)
+	}
+	return tr.histogram(d)
+}
+
+// histogram is the uncached evaluation behind Histogram.
+func (tr *Transformed) histogram(d *dataset.Table) ([]float64, error) {
+	k := tr.kernels()
+	if k.err != nil || k.comps == nil {
+		return tr.HistogramRows(d)
+	}
+	n := d.Size()
+	x := make([]float64, tr.parts)
+	if n == 0 {
+		return x, nil
+	}
+	idx := make([]int32, n)    // per-row global partition, mixed radix
+	masks := make([]uint64, n) // per-row signature within one component
+	sel := dataset.NewBitmap(n)
+	// Out-of-domain handling must match the row path exactly: that path
+	// scans rows outermost and fails at the FIRST bad row (reporting the
+	// first failing component's signature for it), so track the minimum
+	// failing row across components instead of failing component-major.
+	badRow, badWidth := -1, 0
+	var badMask uint64
+	for ci, c := range tr.comps {
+		for i := range masks {
+			masks[i] = 0
+		}
+		for bi, pi := range c.predIdx {
+			k.preds[pi].EvalInto(d, sel)
+			bit := uint64(1) << uint(bi)
+			for wi, w := range sel.Words() {
+				base := wi << 6
+				for w != 0 {
+					masks[base+bits.TrailingZeros64(w)] |= bit
+					w &= w - 1
+				}
+			}
+		}
+		cc := &k.comps[ci]
+		radix := int32(len(c.partSigs))
+		// A failure at or beyond the best known bad row cannot win (ties
+		// go to the earlier component, like the row path), so scan only
+		// the strictly earlier rows once a failure is on record.
+		limit := n
+		if badRow >= 0 {
+			limit = badRow
+		}
+		if cc.dense != nil {
+			for i := 0; i < limit; i++ {
+				m := masks[i]
+				p := cc.dense[m]
+				if p < 0 {
+					badRow, badMask, badWidth = i, m, cc.width
+					break
+				}
+				idx[i] = idx[i]*radix + p
+			}
+		} else {
+			for i := 0; i < limit; i++ {
+				m := masks[i]
+				p, ok := cc.lookup[m]
+				if !ok {
+					badRow, badMask, badWidth = i, m, cc.width
+					break
+				}
+				idx[i] = idx[i]*radix + p
+			}
+		}
+	}
+	if badRow >= 0 {
+		return nil, unseenSignature(badRow, badMask, badWidth)
+	}
+	for _, p := range idx {
+		x[p]++
+	}
+	return x, nil
+}
+
+// HistogramRows is the row-at-a-time reference implementation of
+// Histogram (the seed data path), kept for differential testing and
+// benchmarking of the columnar kernels.
+func (tr *Transformed) HistogramRows(d *dataset.Table) ([]float64, error) {
 	if tr.mat == nil {
 		return nil, fmt.Errorf("workload: histogram unavailable for implicit transformation")
 	}
@@ -181,9 +311,36 @@ func (tr *Transformed) Histogram(d *dataset.Table) ([]float64, error) {
 	return x, nil
 }
 
-// TrueAnswers returns the exact workload answers c_ϕi(D) = w_i·x, computed
-// directly from the data (available even for implicit transformations).
+// TrueAnswers returns the exact workload answers c_ϕi(D) = w_i·x
+// (available even for implicit transformations), one columnar predicate
+// kernel per workload entry. When the Transformed came from a
+// TransformCache, the noise-free result is memoized per table.
 func (tr *Transformed) TrueAnswers(d *dataset.Table) []float64 {
+	if tr.memo != nil {
+		return tr.memo.trueAnswers(tr, d)
+	}
+	return tr.trueAnswers(d)
+}
+
+// trueAnswers is the uncached evaluation behind TrueAnswers.
+func (tr *Transformed) trueAnswers(d *dataset.Table) []float64 {
+	k := tr.kernels()
+	if k.err != nil {
+		return tr.TrueAnswersRows(d)
+	}
+	out := make([]float64, len(tr.preds))
+	sel := dataset.NewBitmap(d.Size())
+	for j, cp := range k.preds {
+		cp.EvalInto(d, sel)
+		out[j] = float64(sel.Count())
+	}
+	return out
+}
+
+// TrueAnswersRows is the row-at-a-time reference implementation of
+// TrueAnswers (the seed data path), kept for differential testing and
+// benchmarking of the columnar kernels.
+func (tr *Transformed) TrueAnswersRows(d *dataset.Table) []float64 {
 	out := make([]float64, len(tr.preds))
 	for i := 0; i < d.Size(); i++ {
 		row := d.Row(i)
@@ -194,6 +351,70 @@ func (tr *Transformed) TrueAnswers(d *dataset.Table) []float64 {
 		}
 	}
 	return out
+}
+
+// kernels compiles the columnar evaluators once per Transformed.
+func (tr *Transformed) kernels() *colKernels {
+	tr.kOnce.Do(func() {
+		k := &tr.k
+		k.preds = make([]*dataset.CompiledPredicate, len(tr.preds))
+		for i, p := range tr.preds {
+			cp, err := dataset.Compile(tr.schema, p)
+			if err != nil {
+				k.err = err
+				return
+			}
+			k.preds[i] = cp
+		}
+		if tr.parts > math.MaxInt32 {
+			return // mixed-radix codes would overflow; keep comps nil
+		}
+		comps := make([]compiledComp, len(tr.comps))
+		for ci, c := range tr.comps {
+			width := len(c.predIdx)
+			if width > 64 {
+				return // signature exceeds one word; comps stays nil
+			}
+			cc := compiledComp{width: width}
+			if width <= denseSigWidth {
+				cc.dense = make([]int32, 1<<uint(width))
+				for i := range cc.dense {
+					cc.dense[i] = -1
+				}
+			} else {
+				cc.lookup = make(map[uint64]int32, len(c.partSigs))
+			}
+			for sig, part := range c.sigToPart {
+				var m uint64
+				for bi := 0; bi < width; bi++ {
+					if sig[bi] == '1' {
+						m |= 1 << uint(bi)
+					}
+				}
+				if cc.dense != nil {
+					cc.dense[m] = int32(part)
+				} else {
+					cc.lookup[m] = int32(part)
+				}
+			}
+			comps[ci] = cc
+		}
+		k.comps = comps
+	})
+	return &tr.k
+}
+
+// unseenSignature renders the row-path error for a mask with no partition.
+func unseenSignature(row int, mask uint64, width int) error {
+	sig := make([]byte, width)
+	for bi := 0; bi < width; bi++ {
+		if mask&(1<<uint(bi)) != 0 {
+			sig[bi] = '1'
+		} else {
+			sig[bi] = '0'
+		}
+	}
+	return fmt.Errorf("workload: row %d: tuple outside public domain (unseen signature %s)", row, sig)
 }
 
 // partitionOf maps a tuple to its global partition index (mixed radix over
