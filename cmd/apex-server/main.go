@@ -4,9 +4,19 @@
 // the paper's text syntax, and audit the full per-session transcript.
 //
 //	apex-server -listen :8080 \
+//	  -data-dir /var/lib/apex \
 //	  -dataset people=people.csv,people.schema \
 //	  -dataset taxi=taxi.csv,taxi.schema \
 //	  -max-budget 2.0
+//
+// With -data-dir set the server is durable: registered datasets persist
+// to a catalog, every session commit is fsynced into a per-session
+// write-ahead log before the answer is released, and on startup the
+// catalog and session logs are replayed — sessions resume with their
+// exact remaining budgets and byte-identical transcripts, re-validated
+// against the Definition 6.1 invariant. SIGTERM/SIGINT drains in-flight
+// queries, flushes the logs and exits; kill -9 loses nothing that was
+// ever acknowledged.
 //
 // A quickstart with curl:
 //
@@ -19,12 +29,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // datasetFlags collects repeated -dataset name=csv,schema values.
@@ -41,14 +58,39 @@ func main() {
 	var datasets datasetFlags
 	var (
 		listen      = flag.String("listen", ":8080", "address to serve on")
+		dataDir     = flag.String("data-dir", "", "durable data directory (empty = in-memory only: datasets and transcripts vanish with the process)")
 		maxBudget   = flag.Float64("max-budget", 0, "per-session budget cap (0 = uncapped)")
 		maxSessions = flag.Int("max-sessions", 0, "live session limit (0 = unlimited)")
 		allowSeeds  = flag.Bool("allow-seeds", false, "let analysts fix their session RNG seed (voids privacy against an analyst who knows the seed; for trusted/reproducible use only)")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	flag.Var(&datasets, "dataset", "dataset to host as name=data.csv,schema.file (repeatable)")
 	flag.Parse()
 
 	reg := server.NewRegistry()
+
+	// Recovery phase 1: the catalog. Datasets persisted by a previous
+	// life come back first so recovered sessions find their tables.
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			log.Fatalf("apex-server: %v", err)
+		}
+		reg.AttachStore(st)
+		names, skipped, err := reg.RecoverDatasets()
+		if err != nil {
+			log.Fatalf("apex-server: recover catalog: %v", err)
+		}
+		for _, s := range skipped {
+			log.Printf("apex-server: catalog entry not recovered: %s", s)
+		}
+		for _, name := range names {
+			t, _ := reg.Get(name)
+			log.Printf("apex-server: dataset %q recovered from catalog: %d rows", name, t.Size())
+		}
+	}
+
 	for _, spec := range datasets {
 		name, files, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -57,6 +99,12 @@ func main() {
 		csvPath, schemaPath, ok := strings.Cut(files, ",")
 		if !ok {
 			log.Fatalf("apex-server: -dataset %q: want name=data.csv,schema.file", spec)
+		}
+		if _, exists := reg.Get(name); exists {
+			// Recovered from the catalog; the durable copy wins so live
+			// sessions never see their table change across a restart.
+			log.Printf("apex-server: dataset %q already recovered from %s; ignoring -dataset files", name, *dataDir)
+			continue
 		}
 		if err := reg.LoadFiles(name, csvPath, schemaPath); err != nil {
 			log.Fatalf("apex-server: %v", err)
@@ -73,9 +121,56 @@ func main() {
 		MaxBudget:   *maxBudget,
 		MaxSessions: *maxSessions,
 		AllowSeeds:  *allowSeeds,
+		Store:       st,
 	})
-	log.Printf("apex-server: listening on %s (datasets: %s)", *listen, datasetList(reg))
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+
+	// Recovery phase 2: session logs. Torn tails are repaired to the
+	// last valid frame; transcripts that fail Definition 6.1 validation
+	// are quarantined, never served.
+	if st != nil {
+		restored, skipped, err := srv.RecoverSessions(st)
+		if err != nil {
+			log.Fatalf("apex-server: recover sessions: %v", err)
+		}
+		for _, s := range skipped {
+			log.Printf("apex-server: session not restored: %s", s)
+		}
+		if restored > 0 {
+			log.Printf("apex-server: %d session(s) restored with remaining budgets intact", restored)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("apex-server: listening on %s (datasets: %s, durability: %s)",
+		*listen, datasetList(reg), durabilityDesc(*dataDir))
+
+	// Graceful shutdown: stop accepting, drain in-flight asks (an
+	// answered query is committed to its WAL before the handler
+	// returns), then flush and close every session log.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("apex-server: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("apex-server: signal received; draining in-flight requests (up to %s)", *drainWait)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("apex-server: drain: %v", err)
+		}
+		if err := srv.Shutdown(); err != nil {
+			log.Printf("apex-server: flush session logs: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("apex-server: %v", err)
+		}
+		log.Printf("apex-server: shutdown complete")
+		os.Exit(0)
+	}
 }
 
 func datasetList(reg *server.Registry) string {
@@ -84,4 +179,11 @@ func datasetList(reg *server.Registry) string {
 		return "none"
 	}
 	return strings.Join(names, ", ")
+}
+
+func durabilityDesc(dataDir string) string {
+	if dataDir == "" {
+		return "none (in-memory)"
+	}
+	return dataDir
 }

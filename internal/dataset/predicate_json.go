@@ -1,0 +1,181 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Predicate JSON codec. The transcript write-ahead log (internal/store)
+// must re-materialize queries exactly as they were asked, and the rendered
+// text form is not a faithful carrier: Range renders as "age∈[0,50)",
+// which the query parser does not accept. So predicates are serialized
+// structurally, as a tagged union mirroring the AST:
+//
+//	{"t":"num","attr":"age","op":"<=","c":50}
+//	{"t":"streq","attr":"state","val":"CA"}
+//	{"t":"range","attr":"age","lo":0,"hi":50}
+//	{"t":"isnull","attr":"age"}
+//	{"t":"and","ps":[...]} / {"t":"or","ps":[...]} / {"t":"not","p":...}
+//	{"t":"true"}
+//
+// Float constants round-trip exactly (encoding/json emits the shortest
+// representation that parses back to the same float64), so a decoded
+// predicate renders byte-identically to the original in transcripts.
+//
+// Func predicates wrap arbitrary Go closures and cannot be serialized;
+// MarshalPredicate reports an error for them. Every predicate the query
+// parser can produce is covered.
+
+// predJSON is the wire form of one predicate node. The float constants
+// are carried as pointers rather than omitempty values: omitempty would
+// drop -0.0 (it compares equal to zero) and the decoded +0.0 renders
+// differently, breaking the byte-identical transcript guarantee.
+type predJSON struct {
+	T    string            `json:"t"`
+	Attr string            `json:"attr,omitempty"`
+	Op   string            `json:"op,omitempty"`
+	C    *float64          `json:"c,omitempty"`
+	Val  string            `json:"val,omitempty"`
+	Lo   *float64          `json:"lo,omitempty"`
+	Hi   *float64          `json:"hi,omitempty"`
+	Ps   []json.RawMessage `json:"ps,omitempty"`
+	P    json.RawMessage   `json:"p,omitempty"`
+}
+
+// MarshalPredicate serializes p to its structural JSON form. Predicates
+// carrying Go closures (Func) are not serializable.
+func MarshalPredicate(p Predicate) ([]byte, error) {
+	switch v := p.(type) {
+	case NumCmp:
+		return json.Marshal(predJSON{T: "num", Attr: v.Attr, Op: v.Op.String(), C: &v.C})
+	case StrEq:
+		return json.Marshal(predJSON{T: "streq", Attr: v.Attr, Val: v.Val})
+	case Range:
+		return json.Marshal(predJSON{T: "range", Attr: v.Attr, Lo: &v.Lo, Hi: &v.Hi})
+	case IsNull:
+		return json.Marshal(predJSON{T: "isnull", Attr: v.Attr})
+	case And:
+		ps, err := marshalPredicates(v)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(predJSON{T: "and", Ps: ps})
+	case Or:
+		ps, err := marshalPredicates(v)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(predJSON{T: "or", Ps: ps})
+	case Not:
+		inner, err := MarshalPredicate(v.P)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(predJSON{T: "not", P: inner})
+	case True:
+		return json.Marshal(predJSON{T: "true"})
+	case Func:
+		return nil, fmt.Errorf("dataset: predicate %q wraps a Go function and cannot be serialized", v.Name)
+	case nil:
+		return nil, fmt.Errorf("dataset: nil predicate")
+	default:
+		return nil, fmt.Errorf("dataset: predicate type %T cannot be serialized", p)
+	}
+}
+
+func marshalPredicates(ps []Predicate) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(ps))
+	for i, p := range ps {
+		b, err := MarshalPredicate(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// UnmarshalPredicate parses the MarshalPredicate form.
+func UnmarshalPredicate(b []byte) (Predicate, error) {
+	var in predJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return nil, fmt.Errorf("dataset: predicate JSON: %w", err)
+	}
+	switch in.T {
+	case "num":
+		op, err := parseCmpOp(in.Op)
+		if err != nil {
+			return nil, err
+		}
+		if in.C == nil {
+			return nil, fmt.Errorf("dataset: predicate JSON: num without constant")
+		}
+		return NumCmp{Attr: in.Attr, Op: op, C: *in.C}, nil
+	case "streq":
+		return StrEq{Attr: in.Attr, Val: in.Val}, nil
+	case "range":
+		if in.Lo == nil || in.Hi == nil {
+			return nil, fmt.Errorf("dataset: predicate JSON: range without bounds")
+		}
+		return Range{Attr: in.Attr, Lo: *in.Lo, Hi: *in.Hi}, nil
+	case "isnull":
+		return IsNull{Attr: in.Attr}, nil
+	case "and":
+		ps, err := unmarshalPredicates(in.Ps)
+		if err != nil {
+			return nil, err
+		}
+		return And(ps), nil
+	case "or":
+		ps, err := unmarshalPredicates(in.Ps)
+		if err != nil {
+			return nil, err
+		}
+		return Or(ps), nil
+	case "not":
+		if in.P == nil {
+			return nil, fmt.Errorf("dataset: predicate JSON: not without operand")
+		}
+		inner, err := UnmarshalPredicate(in.P)
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case "true":
+		return True{}, nil
+	default:
+		return nil, fmt.Errorf("dataset: predicate JSON: unknown type %q", in.T)
+	}
+}
+
+func unmarshalPredicates(raw []json.RawMessage) ([]Predicate, error) {
+	out := make([]Predicate, len(raw))
+	for i, r := range raw {
+		p, err := UnmarshalPredicate(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// parseCmpOp inverts CmpOp.String.
+func parseCmpOp(s string) (CmpOp, error) {
+	switch s {
+	case "=":
+		return Eq, nil
+	case "!=":
+		return Ne, nil
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	default:
+		return 0, fmt.Errorf("dataset: predicate JSON: unknown comparison operator %q", s)
+	}
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// Replayable transcript entry encoding. The durable store (internal/store)
+// frames each committed Entry as one WAL record; this file defines the
+// payload: a JSON form that round-trips an Entry exactly, so a recovered
+// transcript renders byte-identically over the wire and re-validates under
+// ValidateTranscript with the same arithmetic.
+//
+// Queries are carried structurally (kind, predicates via the dataset
+// predicate codec, threshold/k, accuracy requirement) rather than as
+// rendered text: the text form is lossy (Range renders in math notation
+// the parser does not accept). Counts and epsilons are float64s, which
+// encoding/json round-trips exactly.
+
+// entryWire is the on-disk form of one Entry. Float fields are never
+// omitempty: omitempty drops -0.0 (it compares equal to zero), and the
+// decoded +0.0 would render differently, breaking the byte-identical
+// transcript guarantee.
+type entryWire struct {
+	Query   *queryWire  `json:"query,omitempty"`
+	Label   string      `json:"label,omitempty"`
+	Denied  bool        `json:"denied,omitempty"`
+	Epsilon float64     `json:"epsilon"`
+	Answer  *answerWire `json:"answer,omitempty"`
+}
+
+type queryWire struct {
+	Kind       string            `json:"kind"`
+	Predicates []json.RawMessage `json:"predicates"`
+	Threshold  float64           `json:"threshold"`
+	K          int               `json:"k,omitempty"`
+	Alpha      float64           `json:"alpha"`
+	Beta       float64           `json:"beta"`
+}
+
+type answerWire struct {
+	Counts       []float64 `json:"counts,omitempty"`
+	Selected     []bool    `json:"selected,omitempty"`
+	Epsilon      float64   `json:"epsilon"`
+	EpsilonUpper float64   `json:"epsilon_upper"`
+	Mechanism    string    `json:"mechanism,omitempty"`
+}
+
+// EncodeEntry serializes one transcript entry for the WAL. Entries whose
+// query uses a non-serializable predicate (dataset.Func) cannot be
+// encoded; such queries only arise through the programmatic API, never
+// from the parser the server and CLI feed.
+func EncodeEntry(e Entry) ([]byte, error) {
+	w := entryWire{Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon}
+	if e.Query != nil {
+		qw, err := encodeQuery(e.Query)
+		if err != nil {
+			return nil, err
+		}
+		w.Query = qw
+	}
+	if e.Answer != nil {
+		w.Answer = &answerWire{
+			Counts:       e.Answer.Counts,
+			Selected:     e.Answer.Selected,
+			Epsilon:      e.Answer.Epsilon,
+			EpsilonUpper: e.Answer.EpsilonUpper,
+			Mechanism:    e.Answer.Mechanism,
+		}
+	}
+	return json.Marshal(w)
+}
+
+// DecodeEntry parses the EncodeEntry form. A decoded answer shares the
+// query's predicate slice, matching how Ask builds answers.
+func DecodeEntry(b []byte) (Entry, error) {
+	var w entryWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return Entry{}, fmt.Errorf("engine: entry JSON: %w", err)
+	}
+	e := Entry{Label: w.Label, Denied: w.Denied, Epsilon: w.Epsilon}
+	if w.Query != nil {
+		q, err := decodeQuery(w.Query)
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Query = q
+	}
+	if w.Answer != nil {
+		e.Answer = &Answer{
+			Counts:       w.Answer.Counts,
+			Selected:     w.Answer.Selected,
+			Epsilon:      w.Answer.Epsilon,
+			EpsilonUpper: w.Answer.EpsilonUpper,
+			Mechanism:    w.Answer.Mechanism,
+		}
+		if e.Query != nil {
+			e.Answer.Predicates = e.Query.Predicates
+		}
+	}
+	return e, nil
+}
+
+func encodeQuery(q *query.Query) (*queryWire, error) {
+	w := &queryWire{
+		Kind:      q.Kind.String(),
+		Threshold: q.Threshold,
+		K:         q.K,
+		Alpha:     q.Req.Alpha,
+		Beta:      q.Req.Beta,
+	}
+	w.Predicates = make([]json.RawMessage, len(q.Predicates))
+	for i, p := range q.Predicates {
+		b, err := dataset.MarshalPredicate(p)
+		if err != nil {
+			return nil, fmt.Errorf("engine: entry query: %w", err)
+		}
+		w.Predicates[i] = b
+	}
+	return w, nil
+}
+
+func decodeQuery(w *queryWire) (*query.Query, error) {
+	q := &query.Query{
+		Threshold: w.Threshold,
+		K:         w.K,
+		Req:       accuracy.Requirement{Alpha: w.Alpha, Beta: w.Beta},
+	}
+	switch w.Kind {
+	case "WCQ":
+		q.Kind = query.WCQ
+	case "ICQ":
+		q.Kind = query.ICQ
+	case "TCQ":
+		q.Kind = query.TCQ
+	default:
+		return nil, fmt.Errorf("engine: entry query: unknown kind %q", w.Kind)
+	}
+	q.Predicates = make([]dataset.Predicate, len(w.Predicates))
+	for i, raw := range w.Predicates {
+		p, err := dataset.UnmarshalPredicate(raw)
+		if err != nil {
+			return nil, fmt.Errorf("engine: entry query: %w", err)
+		}
+		q.Predicates[i] = p
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: entry query: %w", err)
+	}
+	return q, nil
+}

@@ -78,6 +78,16 @@ var ErrDenied = errors.New("engine: query denied: insufficient privacy budget")
 // (such as the server) use it to distinguish 5xx from 4xx conditions.
 var ErrMechanismFailure = errors.New("mechanism failure")
 
+// ErrPersist marks a commit-hook failure: the transcript entry could not
+// be made durable. The in-memory charge stands (the noise was already
+// drawn, so conservatively the budget is burned) but the answer is
+// withheld from the caller.
+var ErrPersist = errors.New("engine: transcript persistence failed")
+
+// ErrSealed is returned by Ask/ChargeExternal after Seal: the engine no
+// longer accepts interactions. Nothing is charged or logged.
+var ErrSealed = errors.New("engine: session closed")
+
 // epsTol absorbs floating-point drift in budget comparisons.
 const epsTol = 1e-9
 
@@ -143,7 +153,20 @@ type Config struct {
 	// cached and later queries over the same workload with an equal-or-
 	// looser accuracy requirement are answered as free post-processing.
 	Reuse bool
+	// OnCommit, when set, is called synchronously (under the engine lock,
+	// so invocations are ordered exactly like the transcript) after entry
+	// n is appended to the transcript — one call per answered, denied or
+	// externally charged interaction. The durable store uses it to frame
+	// the entry into the session's write-ahead log before the answer is
+	// released. If the hook returns an error the entry and any budget
+	// charge stand (the noise has already been drawn) but the caller gets
+	// an error wrapping ErrPersist instead of the answer: budget is never
+	// under-accounted across a crash.
+	OnCommit CommitHook
 }
+
+// CommitHook observes transcript appends; see Config.OnCommit.
+type CommitHook func(n int, e Entry) error
 
 // Engine is the APEx privacy engine for one sensitive table.
 type Engine struct {
@@ -159,6 +182,8 @@ type Engine struct {
 	transforms *workload.TransformCache
 	reuse      bool
 	answers    map[string]*cachedAnswer
+	onCommit   CommitHook
+	sealed     bool
 }
 
 // DefaultMechanisms returns the full suite the paper's APEx supports: the
@@ -202,7 +227,40 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 		transforms: transforms,
 		reuse:      cfg.Reuse,
 		answers:    make(map[string]*cachedAnswer),
+		onCommit:   cfg.OnCommit,
 	}, nil
+}
+
+// Replay rebuilds an engine from a recovered transcript: the entries are
+// validated against cfg.Budget (Definition 6.1), the cumulative actual
+// loss becomes the engine's spent counter, and when cfg.Reuse is set the
+// inferencer cache is rebuilt from the answered WCQ entries so recovered
+// sessions keep their free-reuse behavior. cfg.OnCommit is NOT invoked
+// for the replayed entries — they are already durable; it fires only for
+// entries appended after recovery.
+//
+// cfg.Rng should be a fresh source: re-seeding a recovered session with
+// the seed it was created with would replay noise the analyst has already
+// seen, voiding the privacy guarantee for post-recovery answers.
+func Replay(d *dataset.Table, cfg Config, entries []Entry) (*Engine, error) {
+	e, err := New(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	spent, err := ValidateTranscript(entries, cfg.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("engine: replay: %w", err)
+	}
+	e.log = append([]Entry(nil), entries...)
+	e.spent = spent
+	if e.reuse {
+		for _, en := range e.log {
+			if en.Query != nil && en.Answer != nil && en.Answer.Counts != nil {
+				e.remember(en.Query, workload.Key(en.Query.Predicates), en.Answer.Counts)
+			}
+		}
+	}
+	return e, nil
 }
 
 // Budget returns the owner's total budget B.
@@ -227,9 +285,32 @@ func (e *Engine) Remaining() float64 {
 
 // Transcript returns a copy of the interaction log.
 func (e *Engine) Transcript() []Entry {
+	return e.TranscriptSince(0)
+}
+
+// TranscriptSince returns a copy of the transcript entries from index n
+// on, so incremental consumers (the server's ?since= transcript fetches,
+// audit tailers) copy only the delta instead of O(entries) per call. A
+// negative n is treated as 0; n past the end returns nil.
+func (e *Engine) TranscriptSince(n int) []Entry {
+	if n < 0 {
+		n = 0
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return append([]Entry(nil), e.log...)
+	if n >= len(e.log) {
+		return nil
+	}
+	return append([]Entry(nil), e.log[n:]...)
+}
+
+// Validate re-checks the Definition 6.1 invariant on the live transcript
+// without copying it, returning the cumulative actual loss. This is what
+// the server's transcript endpoint runs on every audit read.
+func (e *Engine) Validate() (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ValidateTranscript(e.log, e.budget)
 }
 
 // TranscriptLen returns the number of transcript entries without copying
@@ -298,10 +379,15 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if e.sealed {
+		return nil, ErrSealed
+	}
 
 	key := workload.Key(q.Predicates)
 	if ans := e.tryReuse(q, key); ans != nil {
-		e.log = append(e.log, Entry{Query: q, Answer: ans})
+		if err := e.append(Entry{Query: q, Answer: ans}); err != nil {
+			return nil, err
+		}
 		return ans, nil
 	}
 
@@ -325,7 +411,9 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 		}
 	}
 	if best == nil {
-		e.log = append(e.log, Entry{Query: q, Denied: true})
+		if err := e.append(Entry{Query: q, Denied: true}); err != nil {
+			return nil, err
+		}
 		return nil, ErrDenied
 	}
 
@@ -347,9 +435,29 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 	}
 	// Charge the ACTUAL loss (Algorithm 1 line 12).
 	e.spent += res.Epsilon
-	e.log = append(e.log, Entry{Query: q, Answer: ans, Epsilon: res.Epsilon})
+	if err := e.append(Entry{Query: q, Answer: ans, Epsilon: res.Epsilon}); err != nil {
+		// The charge stands — the noisy answer exists even if the analyst
+		// never sees it — so a crash can only over-, never under-account.
+		return nil, err
+	}
 	e.remember(q, key, ans.Counts)
 	return ans, nil
+}
+
+// append records one transcript entry and runs the commit hook. Caller
+// holds e.mu. On hook failure the entry stays in the in-memory log (and
+// any charge the caller applied stands) and an ErrPersist-wrapped error
+// is returned for the caller to surface instead of the answer.
+func (e *Engine) append(en Entry) error {
+	n := len(e.log)
+	e.log = append(e.log, en)
+	if e.onCommit == nil {
+		return nil
+	}
+	if err := e.onCommit(n, en); err != nil {
+		return fmt.Errorf("engine: commit entry %d: %v: %w", n, err, ErrPersist)
+	}
+	return nil
 }
 
 // ChargeExternal reserves and charges privacy loss for a mechanism that
@@ -363,13 +471,28 @@ func (e *Engine) ChargeExternal(upper, actual float64, label string) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.sealed {
+		return ErrSealed
+	}
 	if upper > e.budget-e.spent+epsTol {
-		e.log = append(e.log, Entry{Label: label, Denied: true})
+		if err := e.append(Entry{Label: label, Denied: true}); err != nil {
+			return err
+		}
 		return ErrDenied
 	}
 	e.spent += actual
-	e.log = append(e.log, Entry{Label: label, Epsilon: actual})
-	return nil
+	return e.append(Entry{Label: label, Epsilon: actual})
+}
+
+// Seal closes the engine to new interactions: once it returns, any
+// in-flight Ask or ChargeExternal has fully committed (Seal waits on the
+// engine lock behind it) and every later one fails with ErrSealed,
+// charging and logging nothing. Callers retiring a session's durable log
+// seal first, so no commit can race the log's close.
+func (e *Engine) Seal() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sealed = true
 }
 
 // LaplaceNoise draws n independent Laplace(0, b) samples from the

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 
 	"repro/internal/server"
 )
@@ -91,8 +92,19 @@ func (c *Client) Query(sessionID, queryText string) (*server.QueryResponse, erro
 
 // Transcript fetches the session's full audit transcript.
 func (c *Client) Transcript(sessionID string) (*server.TranscriptResponse, error) {
+	return c.TranscriptSince(sessionID, 0)
+}
+
+// TranscriptSince fetches the transcript entries with index >= since —
+// the incremental form audit tailers poll with, copying only the delta.
+// The response's validity verdict still covers the full transcript.
+func (c *Client) TranscriptSince(sessionID string, since int) (*server.TranscriptResponse, error) {
+	path := "/v1/sessions/" + url.PathEscape(sessionID) + "/transcript"
+	if since > 0 {
+		path += "?since=" + strconv.Itoa(since)
+	}
 	var out server.TranscriptResponse
-	return &out, c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(sessionID)+"/transcript", nil, &out)
+	return &out, c.do(http.MethodGet, path, nil, &out)
 }
 
 func (c *Client) do(method, path string, in, out any) error {

@@ -1,0 +1,348 @@
+package server_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/store"
+)
+
+// startDurableServer builds a registry + server over the data dir,
+// running the same recovery path as cmd/apex-server: catalog first, then
+// session logs. It returns the client, the raw base URL (for byte-level
+// transcript comparison) and the server (for Shutdown).
+func startDurableServer(t *testing.T, dir string) (*client.Client, string, *server.Server, int) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := server.NewRegistry()
+	reg.AttachStore(st)
+	if _, skipped, err := reg.RecoverDatasets(); err != nil {
+		t.Fatal(err)
+	} else if len(skipped) != 0 {
+		t.Fatalf("catalog recovery skipped: %v", skipped)
+	}
+	srv := server.New(reg, server.Config{AllowSeeds: true, Store: st})
+	restored, skipped, err := srv.RecoverSessions(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("recovery skipped sessions: %v", skipped)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL), ts.URL, srv, restored
+}
+
+// rawTranscript fetches the transcript body bytes, uninterpreted, so the
+// byte-identical acceptance criterion is checked on the wire form.
+func rawTranscript(t *testing.T, baseURL, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/sessions/" + id + "/transcript")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transcript HTTP %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+func TestKillAndRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// ---- first life: register a dataset, run sessions to partial budget.
+	c1, url1, _, restored := startDurableServer(t, dir)
+	if restored != 0 {
+		t.Fatalf("fresh dir restored %d sessions", restored)
+	}
+	if _, err := c1.AddDataset(server.AddDatasetRequest{
+		Name:   "people",
+		Schema: peopleSchema(t),
+		CSV:    peopleCSV(200, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sessA, err := c1.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 2, Seed: 7, Reuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB, err := c1.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 0.4, Mode: "pessimistic", Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: two distinct answers plus a free reuse hit.
+	for _, q := range []string{easyQuery, hardQuery, easyQuery} {
+		if _, err := c1.Query(sessA.ID, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// B: drive to a denial so the recovered transcript includes one.
+	denied := false
+	for i := 0; i < 20 && !denied; i++ {
+		r, err := c1.Query(sessB.ID, hardQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		denied = r.Denied
+	}
+	if !denied {
+		t.Fatal("session B never exhausted its budget")
+	}
+	// C: closed by the analyst before the crash; must NOT be restored.
+	sessC, err := c1.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.CloseSession(sessC.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	infoA, err := c1.Session(sessA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoB, err := c1.Session(sessB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoA.Spent <= 0 || infoA.Remaining <= 0 {
+		t.Fatalf("session A not at partial budget: %+v", infoA)
+	}
+	taA := rawTranscript(t, url1, sessA.ID)
+	taB := rawTranscript(t, url1, sessB.ID)
+
+	// ---- crash: the process dies here. No graceful shutdown, no WAL
+	// close — every acknowledged answer is already fsynced, so dropping
+	// the handles on the floor is exactly what kill -9 leaves behind.
+
+	// ---- second life: same data dir.
+	c2, url2, _, restored2 := startDurableServer(t, dir)
+	if restored2 != 2 {
+		t.Fatalf("restored %d sessions, want 2", restored2)
+	}
+	// Datasets came back from the catalog.
+	info, err := c2.Dataset("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 200 || info.Schema == nil || info.Schema.Arity() != 2 {
+		t.Fatalf("recovered dataset = %+v", info)
+	}
+	// Sessions came back with their exact budget state.
+	gotA, err := c2.Session(sessA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := c2.Session(sessB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotA != *infoA {
+		t.Fatalf("session A state changed across restart:\n  before %+v\n  after  %+v", infoA, gotA)
+	}
+	if *gotB != *infoB {
+		t.Fatalf("session B state changed across restart:\n  before %+v\n  after  %+v", infoB, gotB)
+	}
+	// The closed session stayed closed.
+	if _, err := c2.Session(sessC.ID); !isAPIError(err, 404, server.CodeNotFound) {
+		t.Fatalf("closed session resurrected: %v", err)
+	}
+	// Transcripts are byte-identical on the wire and still valid.
+	if got := rawTranscript(t, url2, sessA.ID); !bytes.Equal(got, taA) {
+		t.Fatalf("session A transcript changed across restart:\n  before %s\n  after  %s", taA, got)
+	}
+	if got := rawTranscript(t, url2, sessB.ID); !bytes.Equal(got, taB) {
+		t.Fatalf("session B transcript changed across restart:\n  before %s\n  after  %s", taB, got)
+	}
+	trA, err := c2.Transcript(sessA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trA.Valid {
+		t.Fatalf("recovered transcript invalid: %s", trA.Invalid)
+	}
+	if trA.Spent != infoA.Spent {
+		t.Fatalf("validated spend %v != session spend %v", trA.Spent, infoA.Spent)
+	}
+
+	// The recovered session keeps serving: reuse survives (free answer),
+	// and fresh spending accumulates on top of the recovered counter.
+	r, err := c2.Query(sessA.ID, easyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Denied || r.Mechanism != "cache" || r.Epsilon != 0 {
+		t.Fatalf("reuse lost across restart: %+v", r)
+	}
+	freshQuery := "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 25, age BETWEEN 25 AND 100 } ERROR 50 CONFIDENCE 0.95;"
+	r2, err := c2.Query(sessA.ID, freshQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Denied || r2.Epsilon <= 0 {
+		t.Fatalf("post-restart query did not spend: %+v", r2)
+	}
+	if want := infoA.Spent + r2.Epsilon; !approxEq(r2.Spent, want) {
+		t.Fatalf("spent after restart = %v, want %v", r2.Spent, want)
+	}
+
+	// ---- third life: the post-restart activity itself survives a crash.
+	c3, _, _, restored3 := startDurableServer(t, dir)
+	if restored3 != 2 {
+		t.Fatalf("third life restored %d sessions, want 2", restored3)
+	}
+	gotA3, err := c3.Session(sessA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEq(gotA3.Spent, r2.Spent) || gotA3.Queries != infoA.Queries+2 {
+		t.Fatalf("third life lost post-restart activity: %+v (want spent %v, queries %d)",
+			gotA3, r2.Spent, infoA.Queries+2)
+	}
+	tr3, err := c3.Transcript(sessA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr3.Valid {
+		t.Fatalf("third-life transcript invalid: %s", tr3.Invalid)
+	}
+}
+
+func TestGracefulShutdownRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c1, _, srv1, _ := startDurableServer(t, dir)
+	if _, err := c1.AddDataset(server.AddDatasetRequest{
+		Name: "people", Schema: peopleSchema(t), CSV: peopleCSV(100, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c1.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Query(sess.ID, easyQuery); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c1.Session(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain + flush, as cmd/apex-server does on SIGTERM.
+	if err := srv1.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _, _, restored := startDurableServer(t, dir)
+	if restored != 1 {
+		t.Fatalf("restored %d sessions", restored)
+	}
+	after, err := c2.Session(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *after != *before {
+		t.Fatalf("graceful restart changed session state:\n  %+v\n  %+v", before, after)
+	}
+}
+
+// TestCloseSealsEngine: a handler that grabbed the session just before
+// DELETE must get a clean "session closed" refusal, not a WAL error
+// after its budget was charged.
+func TestCloseSealsEngine(t *testing.T) {
+	dir := t.TempDir()
+	c, _, srv, _ := startDurableServer(t, dir)
+	if _, err := c.AddDataset(server.AddDatasetRequest{
+		Name: "people", Schema: peopleSchema(t), CSV: peopleCSV(100, 3),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sessInfo, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, ok := srv.Sessions().Get(sessInfo.ID)
+	if !ok {
+		t.Fatal("session not found")
+	}
+	// Simulate the in-flight handler: hold the engine pointer across the
+	// close, then ask.
+	eng := sess.Engine()
+	if err := c.CloseSession(sessInfo.ID); err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Parse(easyQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Ask(q); !errors.Is(err, engine.ErrSealed) {
+		t.Fatalf("ask on closed session: %v", err)
+	}
+	if eng.Spent() != sessInfo.Spent {
+		t.Fatalf("closed session charged: %v", eng.Spent())
+	}
+}
+
+// TestRecoveryIncrementalTranscript covers the ?since= path end to end.
+func TestIncrementalTranscript(t *testing.T) {
+	c := newTestServer(t, server.Config{AllowSeeds: true})
+	sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(sess.ID, easyQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := c.Transcript(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Entries) != 3 {
+		t.Fatalf("full transcript has %d entries", len(full.Entries))
+	}
+	tail, err := c.TranscriptSince(sess.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Entries) != 1 || tail.Entries[0].Index != 2 {
+		t.Fatalf("since=2 returned %+v", tail.Entries)
+	}
+	if tail.Entries[0].Query != full.Entries[2].Query {
+		t.Fatal("incremental entry differs from full fetch")
+	}
+	// Validity and spend still cover the whole history.
+	if !tail.Valid || !approxEq(tail.Spent, full.Spent) {
+		t.Fatalf("incremental verdict diverged: %+v vs %+v", tail, full)
+	}
+	empty, err := c.TranscriptSince(sess.ID, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Entries) != 0 {
+		t.Fatalf("since past end returned %d entries", len(empty.Entries))
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < epsTol && d > -epsTol
+}

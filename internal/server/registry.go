@@ -15,6 +15,7 @@
 package server
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -22,11 +23,17 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
 // ErrDuplicateDataset is returned when registering a name that is taken.
 var ErrDuplicateDataset = errors.New("server: dataset already registered")
+
+// ErrStoreFailed marks a dataset-persistence failure: the registration
+// was rejected because it could not be made durable. The server maps it
+// to a 5xx, distinct from the analyst/owner input errors.
+var ErrStoreFailed = errors.New("server: dataset persistence failed")
 
 // Dataset is one registered table plus the evaluation cache every session
 // over it shares.
@@ -43,11 +50,100 @@ type Dataset struct {
 type Registry struct {
 	mu     sync.RWMutex
 	tables map[string]*Dataset
+	store  *store.Store // nil: registrations are memory-only
+
+	// ingestMu serializes AddCSV end to end so the durable save (whole-
+	// CSV writes plus fsyncs) runs outside r.mu — registrations are rare
+	// and may be slow, and they must not stall concurrent reads.
+	ingestMu sync.Mutex
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{tables: make(map[string]*Dataset)}
+}
+
+// AttachStore makes CSV registrations durable: every AddCSV/LoadFiles
+// from here on persists the schema and rows into the store's catalog
+// before the dataset becomes visible. Attach before serving traffic.
+func (r *Registry) AttachStore(st *store.Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.store = st
+}
+
+// RecoverDatasets loads every dataset persisted in the attached store
+// into the registry (without re-persisting). It returns the recovered
+// names plus a description of every catalog entry that could not be
+// served (unreadable files, CSV that no longer parses) — damaged
+// entries are skipped, not fatal, and stay on disk for the operator.
+// This is the first phase of the startup recovery path.
+func (r *Registry) RecoverDatasets() (names, skipped []string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.store == nil {
+		return nil, nil, nil
+	}
+	recs, skipped, err := r.store.LoadDatasets()
+	if err != nil {
+		return nil, skipped, err
+	}
+	for _, rec := range recs {
+		table, err := dataset.ReadCSV(bytes.NewReader(rec.CSV), rec.Schema)
+		if err != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", rec.Name, err))
+			continue
+		}
+		if _, dup := r.tables[rec.Name]; dup {
+			skipped = append(skipped, fmt.Sprintf("%s: already registered", rec.Name))
+			continue
+		}
+		r.tables[rec.Name] = &Dataset{
+			Table:      table,
+			Transforms: workload.NewTransformCache(workload.Options{}),
+		}
+		names = append(names, rec.Name)
+	}
+	return names, skipped, nil
+}
+
+// AddCSV parses and registers a dataset from its source CSV, persisting
+// both schema and rows to the attached store first — the registration is
+// visible only once it is durable. This is the canonical ingest path for
+// both the owner HTTP endpoint and the startup file loader.
+func (r *Registry) AddCSV(name string, schema *dataset.Schema, csv []byte) (*dataset.Table, error) {
+	if err := validateDatasetName(name); err != nil {
+		return nil, err
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("server: dataset %q: nil schema", name)
+	}
+	table, err := dataset.ReadCSV(bytes.NewReader(csv), schema)
+	if err != nil {
+		return nil, err
+	}
+	// One ingest at a time; r.mu is only taken for the map touches, so
+	// reads (listing, session creation) never wait on disk I/O here.
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	r.mu.RLock()
+	_, dup := r.tables[name]
+	r.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
+	}
+	if r.store != nil {
+		if err := r.store.SaveDataset(name, schema, csv); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStoreFailed, err)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tables[name] = &Dataset{
+		Table:      table,
+		Transforms: workload.NewTransformCache(workload.Options{}),
+	}
+	return table, nil
 }
 
 // Add registers a table under name. Names are unique: re-registering is an
@@ -59,6 +155,8 @@ func (r *Registry) Add(name string, t *dataset.Table) error {
 	if t == nil {
 		return fmt.Errorf("server: nil table for dataset %q", name)
 	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.tables[name]; dup {
@@ -77,6 +175,11 @@ func validateDatasetName(name string) error {
 	if name == "" {
 		return fmt.Errorf("server: dataset name must be non-empty")
 	}
+	if name[0] == '.' {
+		// Also keeps catalog directory names ("..", dot-prefixed temp
+		// dirs) unreachable from user input.
+		return fmt.Errorf("server: dataset name %q must not start with '.'", name)
+	}
 	for _, c := range name {
 		switch {
 		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
@@ -89,7 +192,8 @@ func validateDatasetName(name string) error {
 }
 
 // LoadFiles reads a CSV + text-schema pair from disk and registers the
-// table under name. This is the startup path used by cmd/apex-server.
+// table under name, persisting it when a store is attached. This is the
+// startup path used by cmd/apex-server.
 func (r *Registry) LoadFiles(name, csvPath, schemaPath string) error {
 	sf, err := os.Open(schemaPath)
 	if err != nil {
@@ -100,16 +204,14 @@ func (r *Registry) LoadFiles(name, csvPath, schemaPath string) error {
 	if err != nil {
 		return fmt.Errorf("server: dataset %q: %w", name, err)
 	}
-	cf, err := os.Open(csvPath)
+	csv, err := os.ReadFile(csvPath)
 	if err != nil {
 		return fmt.Errorf("server: dataset %q: %w", name, err)
 	}
-	table, err := dataset.ReadCSV(cf, schema)
-	cf.Close()
-	if err != nil {
-		return fmt.Errorf("server: dataset %q: %w", name, err)
+	if _, err := r.AddCSV(name, schema, csv); err != nil {
+		return err
 	}
-	return r.Add(name, table)
+	return nil
 }
 
 // Get returns the named table.

@@ -6,12 +6,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"strings"
+	"strconv"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/query"
+	"repro/internal/store"
 )
 
 // Config holds the owner-side policy knobs for one server.
@@ -25,6 +26,11 @@ type Config struct {
 	// recover exact counts, so only enable it for trusted analysts or
 	// reproducible experiments.
 	AllowSeeds bool
+	// Store, when set, makes the server durable: dataset registrations
+	// persist to the catalog and every session commit is fsynced into a
+	// per-session write-ahead log before the answer is released. Attach
+	// the same store to the registry and run RecoverSessions at startup.
+	Store *store.Store
 }
 
 // Server wires the registry and session manager to an HTTP API.
@@ -36,12 +42,60 @@ type Server struct {
 
 // New builds a server over reg with the given policy.
 func New(reg *Registry, cfg Config) *Server {
+	sessions := NewSessionManager(cfg.MaxBudget, cfg.MaxSessions)
+	if cfg.Store != nil {
+		sessions.AttachStore(cfg.Store)
+	}
 	return &Server{
 		registry:   reg,
-		sessions:   NewSessionManager(cfg.MaxBudget, cfg.MaxSessions),
+		sessions:   sessions,
 		allowSeeds: cfg.AllowSeeds,
 	}
 }
+
+// RecoverSessions replays every live session log in st and re-admits the
+// sessions: transcripts are decoded, re-validated against Definition 6.1,
+// and the engines resume with exactly the budget left when the previous
+// process stopped. Logs with a torn tail are repaired to their last valid
+// frame first; logs that fail validation are quarantined rather than
+// served; sessions whose dataset is not registered are left on disk and
+// retried next start. skipped describes everything not restored.
+func (s *Server) RecoverSessions(st *store.Store) (restored int, skipped []string, err error) {
+	recs, skipped, err := st.RecoverSessions()
+	if err != nil {
+		return 0, skipped, err
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.TruncatedBytes > 0 {
+			log.Printf("server: session %s: dropped %d corrupt trailing bytes, resuming at last valid frame",
+				rec.Meta.ID, rec.TruncatedBytes)
+		}
+		ds, ok := s.registry.Dataset(rec.Meta.Dataset)
+		if !ok {
+			skipped = append(skipped, fmt.Sprintf("%s: dataset %q not registered", rec.Meta.ID, rec.Meta.Dataset))
+			if cerr := rec.Log.Close(); cerr != nil {
+				log.Printf("server: session %s: %v", rec.Meta.ID, cerr)
+			}
+			continue
+		}
+		if _, rerr := s.sessions.Restore(ds, rec); rerr != nil {
+			// The frames are intact but the transcript does not hold up
+			// (or the meta is inconsistent): refuse to serve it.
+			skipped = append(skipped, fmt.Sprintf("%s: %v", rec.Meta.ID, rerr))
+			if qerr := rec.Log.Quarantine(); qerr != nil {
+				log.Printf("server: session %s: quarantine: %v", rec.Meta.ID, qerr)
+			}
+			continue
+		}
+		restored++
+	}
+	return restored, skipped, nil
+}
+
+// Shutdown flushes every durable session log to disk. Call after the
+// HTTP listener has drained in-flight requests.
+func (s *Server) Shutdown() error { return s.sessions.Shutdown() }
 
 // Registry returns the server's dataset registry (the startup loader in
 // cmd/apex-server registers datasets through it).
@@ -210,15 +264,18 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "schema is required")
 		return
 	}
-	table, err := dataset.ReadCSV(strings.NewReader(req.CSV), req.Schema)
+	table, err := s.registry.AddCSV(req.Name, req.Schema, []byte(req.CSV))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
-	}
-	if err := s.registry.Add(req.Name, table); err != nil {
 		status, code := http.StatusBadRequest, CodeBadRequest
-		if errors.Is(err, ErrDuplicateDataset) {
+		switch {
+		case errors.Is(err, ErrDuplicateDataset):
 			status, code = http.StatusConflict, CodeConflict
+		case errors.Is(err, ErrStoreFailed):
+			// The registration was rejected because it could not be made
+			// durable; the detail stays in the server log.
+			log.Printf("server: %v", err)
+			writeError(w, http.StatusInternalServerError, CodeInternal, "dataset persistence failed")
+			return
 		}
 		writeError(w, status, code, err.Error())
 		return
@@ -320,6 +377,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Spent:     spent,
 			Remaining: eng.Budget() - spent,
 		})
+	case errors.Is(err, engine.ErrPersist):
+		// The entry could not be made durable; the budget charge stands
+		// (never under-account across a crash) but the answer is withheld.
+		// Checked before the canceled case: a disconnected client must
+		// not reclassify a charge-bearing durability failure as
+		// "nothing was charged", and the failure must reach the log.
+		log.Printf("server: session %s: %v", sess.ID, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "transcript persistence failed")
+	case errors.Is(err, engine.ErrSealed):
+		// The session was closed while this query was in flight.
+		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
 	case err != nil && r.Context().Err() != nil:
 		// Client went away; nothing was charged.
 		writeError(w, http.StatusRequestTimeout, CodeBadRequest, "request canceled")
@@ -353,8 +421,20 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
 		return
 	}
+	// ?since=N returns only entries with index >= N, so audit tailers
+	// fetch the delta instead of the whole history on every poll. The
+	// validity verdict always covers the full transcript.
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "since must be a nonnegative integer")
+			return
+		}
+		since = n
+	}
 	eng := sess.Engine()
-	entries := eng.Transcript()
+	entries := eng.TranscriptSince(since)
 	resp := TranscriptResponse{
 		Session: sess.ID,
 		Dataset: sess.Dataset,
@@ -362,7 +442,7 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 		Entries: make([]TranscriptEntry, 0, len(entries)),
 	}
 	for i, e := range entries {
-		te := TranscriptEntry{Index: i, Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon}
+		te := TranscriptEntry{Index: since + i, Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon}
 		if e.Query != nil {
 			te.Query = e.Query.String()
 		}
@@ -375,7 +455,8 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Entries = append(resp.Entries, te)
 	}
-	spent, err := engine.ValidateTranscript(entries, eng.Budget())
+	// Validate in place (no transcript copy) over the full history.
+	spent, err := eng.Validate()
 	resp.Spent = spent
 	resp.Valid = err == nil
 	if err != nil {

@@ -6,12 +6,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/noise"
+	"repro/internal/store"
 )
 
 // ErrPolicyDenied marks owner-policy refusals (budget cap, session limit),
@@ -26,6 +28,7 @@ type Session struct {
 	Dataset string
 	Created time.Time
 	eng     *engine.Engine
+	wal     *store.SessionLog // nil when the server runs without a store
 }
 
 // Engine exposes the session's privacy engine.
@@ -40,6 +43,7 @@ type SessionManager struct {
 	maxBudget   float64 // 0 means uncapped
 	maxSessions int     // 0 means unlimited
 	now         func() time.Time
+	store       *store.Store // nil: sessions are memory-only
 }
 
 // NewSessionManager returns a manager enforcing the owner's per-session
@@ -53,6 +57,15 @@ func NewSessionManager(maxBudget float64, maxSessions int) *SessionManager {
 	}
 }
 
+// AttachStore makes sessions durable: every new session gets a
+// write-ahead log, and each engine commit is fsynced into it before the
+// answer is released. Attach before serving traffic.
+func (m *SessionManager) AttachStore(st *store.Store) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store = st
+}
+
 // Create starts a session over ds with its own engine but the dataset's
 // shared evaluation cache (one workload transformation and one noise-free
 // scan per distinct workload across all of the dataset's sessions). seed
@@ -64,6 +77,11 @@ func NewSessionManager(maxBudget float64, maxSessions int) *SessionManager {
 func (m *SessionManager) Create(datasetName string, ds *Dataset, budget float64, mode engine.Mode, seed int64, reuse bool) (*Session, error) {
 	if m.maxBudget > 0 && budget > m.maxBudget {
 		return nil, fmt.Errorf("%w: budget %g exceeds the owner's per-session cap %g", ErrPolicyDenied, budget, m.maxBudget)
+	}
+	if budget <= 0 {
+		// engine.New enforces this too; checking up front keeps the
+		// durable path from creating a WAL for a session that cannot be.
+		return nil, fmt.Errorf("server: privacy budget must be positive, got %v", budget)
 	}
 	if seed == 0 {
 		var err error
@@ -81,27 +99,103 @@ func (m *SessionManager) Create(datasetName string, ds *Dataset, budget float64,
 			return nil, fmt.Errorf("%w: session limit %d reached", ErrPolicyDenied, m.maxSessions)
 		}
 	}
+	id, err := newSessionID()
+	if err != nil {
+		return nil, err
+	}
+	created := m.now()
+
+	// Make the session durable before it exists: the WAL header is
+	// fsynced first, so any session an analyst ever saw is recoverable.
+	var wal *store.SessionLog
+	var onCommit engine.CommitHook
+	if m.store != nil {
+		wal, err = m.store.CreateSessionLog(store.SessionMeta{
+			ID:      id,
+			Dataset: datasetName,
+			Budget:  budget,
+			Mode:    mode.String(),
+			Reuse:   reuse,
+			Created: created,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: session log: %w", err)
+		}
+		slog := wal
+		onCommit = func(_ int, e engine.Entry) error { return slog.AppendEntry(e) }
+	}
+	abort := func() {
+		if wal != nil {
+			if derr := wal.Discard(); derr != nil {
+				log.Printf("server: discard session log %s: %v", id, derr)
+			}
+		}
+	}
+
 	eng, err := engine.New(ds.Table, engine.Config{
 		Budget:     budget,
 		Mode:       mode,
 		Rng:        noise.NewRand(seed),
 		Reuse:      reuse,
 		Transforms: ds.Transforms,
+		OnCommit:   onCommit,
 	})
 	if err != nil {
+		abort()
 		return nil, err
 	}
-	id, err := newSessionID()
-	if err != nil {
-		return nil, err
-	}
-	s := &Session{ID: id, Dataset: datasetName, Created: m.now(), eng: eng}
+	s := &Session{ID: id, Dataset: datasetName, Created: created, eng: eng, wal: wal}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		abort()
 		return nil, fmt.Errorf("%w: session limit %d reached", ErrPolicyDenied, m.maxSessions)
 	}
 	m.sessions[id] = s
+	return s, nil
+}
+
+// Restore re-admits one recovered session: the transcript is replayed
+// into a fresh engine (re-validating the Definition 6.1 invariant and
+// re-deriving the spent budget), the session keeps its original id and
+// creation time, and further commits append to the same log. The
+// engine's randomness is freshly seeded — replaying the original seed
+// would reuse noise the analyst has already observed. Recovered sessions
+// bypass the owner's current budget/session caps: they were admitted
+// under the policy in force when they were created.
+func (m *SessionManager) Restore(ds *Dataset, rec *store.RecoveredSession) (*Session, error) {
+	mode, err := engine.ParseMode(rec.Meta.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("server: restore session %s: %w", rec.Meta.ID, err)
+	}
+	seed, err := randomSeed()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Replay(ds.Table, engine.Config{
+		Budget:     rec.Meta.Budget,
+		Mode:       mode,
+		Rng:        noise.NewRand(seed),
+		Reuse:      rec.Meta.Reuse,
+		Transforms: ds.Transforms,
+		OnCommit:   func(_ int, e engine.Entry) error { return rec.Log.AppendEntry(e) },
+	}, rec.Entries)
+	if err != nil {
+		return nil, fmt.Errorf("server: restore session %s: %w", rec.Meta.ID, err)
+	}
+	s := &Session{
+		ID:      rec.Meta.ID,
+		Dataset: rec.Meta.Dataset,
+		Created: rec.Meta.Created,
+		eng:     eng,
+		wal:     rec.Log,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.sessions[s.ID]; dup {
+		return nil, fmt.Errorf("server: restore session %s: id already live", s.ID)
+	}
+	m.sessions[s.ID] = s
 	return s, nil
 }
 
@@ -113,13 +207,47 @@ func (m *SessionManager) Get(id string) (*Session, bool) {
 	return s, ok
 }
 
-// Close forgets the session; it reports whether the id existed.
+// Close forgets the session; it reports whether the id existed. A
+// durable session's log is flushed and retired (kept on disk for audit
+// but no longer restored at startup).
 func (m *SessionManager) Close(id string) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.sessions[id]
+	s, ok := m.sessions[id]
 	delete(m.sessions, id)
-	return ok
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	// Seal drains any in-flight ask (it waits on the engine lock) and
+	// fails every later one with ErrSealed, so no commit can race the
+	// log's retirement and the retired audit file misses nothing that
+	// was charged.
+	s.eng.Seal()
+	if s.wal != nil {
+		if err := s.wal.Finish(); err != nil {
+			log.Printf("server: close session %s: %v", id, err)
+		}
+	}
+	return true
+}
+
+// Shutdown flushes and closes every durable session's log, leaving the
+// files in place for recovery on the next start. The graceful-shutdown
+// path in cmd/apex-server calls it after the HTTP listener has drained,
+// so no engine commits race the close.
+func (m *SessionManager) Shutdown() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var firstErr error
+	for id, s := range m.sessions {
+		if s.wal == nil {
+			continue
+		}
+		if err := s.wal.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: flush session %s: %w", id, err)
+		}
+	}
+	return firstErr
 }
 
 // List returns all live sessions ordered by creation time, then id.

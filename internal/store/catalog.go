@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// DatasetRecord is one durable catalog entry: the public schema plus the
+// sensitive rows exactly as they were ingested. Keeping the source CSV
+// (rather than a re-rendering of the columnar table) guarantees that
+// recovery re-parses byte-identical input and reproduces the table the
+// sessions were answering over.
+type DatasetRecord struct {
+	Name   string
+	Schema *dataset.Schema
+	CSV    []byte
+}
+
+// SaveDataset durably persists one dataset. The write is atomic: files
+// land in a temp directory, are fsynced, and the directory is renamed
+// into the catalog — a crash mid-save leaves at most an invisible temp
+// directory (swept on open of the next save). Saving a name that already
+// exists is an error; the catalog, like the registry, never swaps a
+// table out from under live sessions.
+func (s *Store) SaveDataset(name string, schema *dataset.Schema, csv []byte) error {
+	if name == "" || name != filepath.Base(name) || name[0] == '.' {
+		return fmt.Errorf("store: invalid dataset name %q", name)
+	}
+	final := filepath.Join(s.catalogDir(), name)
+	if _, err := os.Stat(final); err == nil {
+		return fmt.Errorf("store: dataset %q already persisted", name)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+
+	schemaJSON, err := json.Marshal(schema)
+	if err != nil {
+		return fmt.Errorf("store: dataset %q schema: %w", name, err)
+	}
+	tmp, err := os.MkdirTemp(s.catalogDir(), ".tmp-"+name+"-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	if err := writeFileSync(filepath.Join(tmp, "schema.json"), schemaJSON); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", name, err)
+	}
+	if err := writeFileSync(filepath.Join(tmp, "data.csv"), csv); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", name, err)
+	}
+	if err := syncDir(s.catalogDir()); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", name, err)
+	}
+	return nil
+}
+
+// LoadDatasets reads every persisted dataset, sorted by name. Temp
+// directories abandoned by a crashed save are swept. An unreadable
+// catalog entry (stray directory, missing or mangled file) is reported
+// in skipped rather than failing the whole load — one damaged dataset
+// must not keep the server from serving the healthy ones; the entry is
+// left on disk for the operator.
+func (s *Store) LoadDatasets() (recs []DatasetRecord, skipped []string, err error) {
+	entries, err := os.ReadDir(s.catalogDir())
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if name[0] == '.' {
+			// Leftover temp dir from a save that crashed before rename.
+			os.RemoveAll(filepath.Join(s.catalogDir(), name))
+			continue
+		}
+		rec, lerr := s.loadDataset(name)
+		if lerr != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", name, lerr))
+			continue
+		}
+		recs = append(recs, *rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	return recs, skipped, nil
+}
+
+func (s *Store) loadDataset(name string) (*DatasetRecord, error) {
+	dir := filepath.Join(s.catalogDir(), name)
+	schemaJSON, err := os.ReadFile(filepath.Join(dir, "schema.json"))
+	if err != nil {
+		return nil, err
+	}
+	schema := new(dataset.Schema)
+	if err := json.Unmarshal(schemaJSON, schema); err != nil {
+		return nil, err
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "data.csv"))
+	if err != nil {
+		return nil, err
+	}
+	return &DatasetRecord{Name: name, Schema: schema, CSV: csv}, nil
+}
+
+// writeFileSync writes data and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

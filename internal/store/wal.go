@@ -1,0 +1,265 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// walMagic opens every log file so recovery can tell a WAL from stray
+// files; the trailing digit versions the frame format.
+const walMagic = "APEXWAL1"
+
+// maxFrameBytes bounds one frame payload (16 MiB). Appends above it are
+// rejected, and a read length above it is treated as a corrupt tail —
+// without the bound a few flipped bits in a length field could make
+// recovery attempt a multi-gigabyte allocation.
+const maxFrameBytes = 16 << 20
+
+// frameHeaderSize is the per-frame prefix: uint32 payload length plus
+// uint32 CRC-32C of the payload, both little-endian.
+const frameHeaderSize = 8
+
+// crcTable is the Castagnoli polynomial, the standard for storage CRCs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrWALClosed is returned by appends after Close.
+var ErrWALClosed = errors.New("store: WAL is closed")
+
+// WAL is an append-only, CRC-framed log with group-commit durability:
+// Append returns only after the frame is fsynced, but concurrent appends
+// share fsyncs — whichever appender reaches the sync path first flushes
+// everything written so far and the rest observe their frame already
+// durable. Under load this batches many commits per disk flush without
+// ever acknowledging an unflushed write.
+type WAL struct {
+	path string
+	opts WALOptions
+
+	mu       sync.Mutex // serializes writes and guards all fields below
+	f        *os.File
+	size     int64
+	writeSeq int64 // frames written to the OS
+	synced   int64 // frames known durable
+	err      error // sticky failure; the WAL refuses further work
+	closed   bool
+
+	syncMu sync.Mutex // serializes fsyncs; the group-commit queue
+}
+
+// WALOptions tunes one log.
+type WALOptions struct {
+	// NoSync skips fsync on append (Close still syncs). Only for tests
+	// and benchmarks: a crash can lose acknowledged frames.
+	NoSync bool
+}
+
+// OpenWAL opens or creates the log at path and recovers its contents: it
+// returns every intact frame payload in order and truncates any corrupt
+// or torn tail (short frame, bad CRC, absurd length) so the log ends at
+// its last valid frame before new appends go in. truncated reports how
+// many trailing bytes were dropped.
+func OpenWAL(path string, opts WALOptions) (w *WAL, frames [][]byte, truncated int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("store: open WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: stat WAL: %w", err)
+	}
+	w = &WAL{path: path, opts: opts, f: f}
+
+	if st.Size() == 0 {
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: init WAL: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: init WAL: %w", err)
+		}
+		w.size = int64(len(walMagic))
+		return w, nil, 0, nil
+	}
+
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: read WAL: %w", err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: %s is not a WAL (bad magic)", path)
+	}
+
+	valid := int64(len(walMagic))
+	off := len(walMagic)
+	for {
+		if off+frameHeaderSize > len(data) {
+			break // torn header
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxFrameBytes {
+			break // corrupt length
+		}
+		end := off + frameHeaderSize + int(n)
+		if end > len(data) {
+			break // torn payload
+		}
+		payload := data[off+frameHeaderSize : end]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // corrupt payload
+		}
+		frames = append(frames, append([]byte(nil), payload...))
+		off = end
+		valid = int64(end)
+	}
+	truncated = st.Size() - valid
+	if truncated > 0 {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: truncate corrupt WAL tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("store: truncate corrupt WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, 0, fmt.Errorf("store: seek WAL end: %w", err)
+	}
+	w.size = valid
+	w.writeSeq = int64(len(frames))
+	w.synced = int64(len(frames))
+	return w, frames, truncated, nil
+}
+
+// Append writes one frame and blocks until it is durable (group commit).
+// After any write or sync failure the WAL turns sticky-failed: the frame
+// boundary on disk is unknown, so all further appends return the error
+// and recovery on next open repairs the tail.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("store: frame of %d bytes exceeds limit %d", len(payload), maxFrameBytes)
+	}
+	buf := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, crcTable))
+	copy(buf[frameHeaderSize:], payload)
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWALClosed
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.err = fmt.Errorf("store: WAL write: %w", err)
+		err = w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.size += int64(len(buf))
+	w.writeSeq++
+	seq := w.writeSeq
+	w.mu.Unlock()
+
+	if w.opts.NoSync {
+		return nil
+	}
+	return w.syncTo(seq)
+}
+
+// syncTo blocks until frame seq is durable. The first caller through
+// syncMu fsyncs everything written so far; callers queued behind it find
+// their frame already covered and return without touching the disk.
+func (w *WAL) syncTo(seq int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.synced >= seq {
+		w.mu.Unlock()
+		return nil
+	}
+	covers := w.writeSeq
+	f := w.f
+	w.mu.Unlock()
+
+	err := f.Sync()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err != nil {
+		if w.err == nil {
+			w.err = fmt.Errorf("store: WAL fsync: %w", err)
+		}
+		return w.err
+	}
+	if covers > w.synced {
+		w.synced = covers
+	}
+	return nil
+}
+
+// Sync flushes all written frames to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrWALClosed
+	}
+	seq := w.writeSeq
+	w.mu.Unlock()
+	return w.syncTo(seq)
+}
+
+// Size returns the current file size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// Close flushes and closes the log. Closing is idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.mu.Unlock()
+	syncErr := w.Sync()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	closeErr := w.f.Close()
+	if syncErr != nil && !errors.Is(syncErr, ErrWALClosed) {
+		return syncErr
+	}
+	return closeErr
+}

@@ -1,0 +1,241 @@
+// Command recoverysmoke is the CI recovery smoke: it builds apex-server,
+// starts it with a data dir, registers a dataset and runs a session to
+// partial budget, kills the process with SIGKILL, restarts it on the same
+// data dir, and asserts that the dataset, the session's remaining budget
+// and the byte-identical transcript all survived. It exits nonzero (with
+// a reason) on any divergence. Run it from the repository root:
+//
+//	go run ./scripts/recoverysmoke
+//
+// It finishes in a few seconds, so it is cheap enough for every CI run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const (
+	schemaJSON = `{"attributes":[{"name":"age","kind":"continuous","min":0,"max":100},{"name":"state","kind":"categorical","values":["CA","NY","TX"]}]}`
+	queryText  = "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 50 CONFIDENCE 0.95;"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "recoverysmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("recoverysmoke: OK — dataset, budget and transcript survived kill -9")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "recoverysmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "apex-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/apex-server")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build apex-server: %w", err)
+	}
+	dataDir := filepath.Join(work, "data")
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// ---- first life.
+	srv, err := startServer(bin, addr, dataDir)
+	if err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	var csv strings.Builder
+	csv.WriteString("age,state\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&csv, "%d,%s\n", (i*37)%100, []string{"CA", "NY", "TX"}[i%3])
+	}
+	if _, err := post(base+"/v1/datasets", map[string]any{
+		"name": "smoke", "schema": json.RawMessage(schemaJSON), "csv": csv.String(),
+	}, http.StatusCreated); err != nil {
+		return fmt.Errorf("register dataset: %w", err)
+	}
+	sess, err := post(base+"/v1/sessions", map[string]any{"dataset": "smoke", "budget": 1.0}, http.StatusCreated)
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	id, _ := sess["id"].(string)
+	if id == "" {
+		return fmt.Errorf("session id missing: %v", sess)
+	}
+	if _, err := post(base+"/v1/sessions/"+id+"/query", map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	before, err := get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return err
+	}
+	transcriptBefore, err := getRaw(base + "/v1/sessions/" + id + "/transcript")
+	if err != nil {
+		return err
+	}
+
+	// ---- kill -9: no drain, no flush.
+	if err := srv.Process.Kill(); err != nil {
+		return err
+	}
+	srv.Wait()
+
+	// ---- second life on the same data dir.
+	srv2, err := startServer(bin, addr, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer srv2.Process.Kill()
+
+	if _, err := get(base + "/v1/datasets/smoke"); err != nil {
+		return fmt.Errorf("dataset lost across restart: %w", err)
+	}
+	after, err := get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return fmt.Errorf("session lost across restart: %w", err)
+	}
+	for _, k := range []string{"budget", "spent", "remaining", "queries", "mode", "created"} {
+		if fmt.Sprint(before[k]) != fmt.Sprint(after[k]) {
+			return fmt.Errorf("session %s changed across restart: %v -> %v", k, before[k], after[k])
+		}
+	}
+	transcriptAfter, err := getRaw(base + "/v1/sessions/" + id + "/transcript")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(transcriptBefore, transcriptAfter) {
+		return fmt.Errorf("transcript changed across restart:\n before: %s\n after:  %s", transcriptBefore, transcriptAfter)
+	}
+	var tr map[string]any
+	if err := json.Unmarshal(transcriptAfter, &tr); err != nil {
+		return err
+	}
+	if valid, _ := tr["valid"].(bool); !valid {
+		return fmt.Errorf("recovered transcript failed validation: %s", transcriptAfter)
+	}
+	// The recovered session keeps serving.
+	if _, err := post(base+"/v1/sessions/"+id+"/query", map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("post-restart query: %w", err)
+	}
+
+	// ---- graceful shutdown path: SIGTERM must drain and exit cleanly.
+	if err := srv2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("SIGTERM exit: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server did not exit within 10s of SIGTERM")
+	}
+	return nil
+}
+
+func startServer(bin, addr, dataDir string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin, "-listen", addr, "-data-dir", dataDir)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	base := "http://" + addr
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, fmt.Errorf("server at %s never became healthy", addr)
+}
+
+// freeAddr reserves an ephemeral port and releases it for the server.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func post(url string, body map[string]any, wantStatus int) (map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != wantStatus {
+		return nil, fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("POST %s: %w", url, err)
+	}
+	return out, nil
+}
+
+func get(url string) (map[string]any, error) {
+	data, err := getRaw(url)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return out, nil
+}
+
+func getRaw(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	return data, nil
+}
