@@ -18,6 +18,13 @@
 // queries, flushes the logs and exits; kill -9 loses nothing that was
 // ever acknowledged.
 //
+// Queries run through a per-dataset execution scheduler: pending distinct
+// workloads are coalesced into one batched columnar pass, sessions are
+// dispatched round-robin, and a full queue answers 429 + Retry-After
+// (tune with -queue-depth, -sched-workers, -max-batch, -retry-after).
+// Prometheus-format observability — per-mechanism latency, queue depth,
+// batch sizes, budget-spend histograms — is served at /metrics.
+//
 // A quickstart with curl:
 //
 //	curl -s localhost:8080/v1/datasets
@@ -40,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -57,12 +65,16 @@ func (d *datasetFlags) Set(v string) error {
 func main() {
 	var datasets datasetFlags
 	var (
-		listen      = flag.String("listen", ":8080", "address to serve on")
-		dataDir     = flag.String("data-dir", "", "durable data directory (empty = in-memory only: datasets and transcripts vanish with the process)")
-		maxBudget   = flag.Float64("max-budget", 0, "per-session budget cap (0 = uncapped)")
-		maxSessions = flag.Int("max-sessions", 0, "live session limit (0 = unlimited)")
-		allowSeeds  = flag.Bool("allow-seeds", false, "let analysts fix their session RNG seed (voids privacy against an analyst who knows the seed; for trusted/reproducible use only)")
-		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		listen       = flag.String("listen", ":8080", "address to serve on")
+		dataDir      = flag.String("data-dir", "", "durable data directory (empty = in-memory only: datasets and transcripts vanish with the process)")
+		maxBudget    = flag.Float64("max-budget", 0, "per-session budget cap (0 = uncapped)")
+		maxSessions  = flag.Int("max-sessions", 0, "live session limit (0 = unlimited)")
+		allowSeeds   = flag.Bool("allow-seeds", false, "let analysts fix their session RNG seed (voids privacy against an analyst who knows the seed; for trusted/reproducible use only)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		queueDepth   = flag.Int("queue-depth", 0, "pending-query bound per dataset before 429 backpressure (0 = scheduler default)")
+		schedWorkers = flag.Int("sched-workers", 0, "batch executors per dataset (0 = scheduler default)")
+		maxBatch     = flag.Int("max-batch", 0, "max queries coalesced into one batched columnar pass (0 = scheduler default)")
+		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint attached to 429 rejections (0 = scheduler default)")
 	)
 	flag.Var(&datasets, "dataset", "dataset to host as name=data.csv,schema.file (repeatable)")
 	flag.Parse()
@@ -122,6 +134,12 @@ func main() {
 		MaxSessions: *maxSessions,
 		AllowSeeds:  *allowSeeds,
 		Store:       st,
+		Sched: sched.Config{
+			QueueDepth: *queueDepth,
+			Workers:    *schedWorkers,
+			MaxBatch:   *maxBatch,
+			RetryAfter: *retryAfter,
+		},
 	})
 
 	// Recovery phase 2: session logs. Torn tails are repaired to the
@@ -146,9 +164,12 @@ func main() {
 	log.Printf("apex-server: listening on %s (datasets: %s, durability: %s)",
 		*listen, datasetList(reg), durabilityDesc(*dataDir))
 
-	// Graceful shutdown: stop accepting, drain in-flight asks (an
-	// answered query is committed to its WAL before the handler
-	// returns), then flush and close every session log.
+	// Graceful shutdown: stop accepting, drain in-flight asks — each
+	// handler blocks until its queued query executes and commits to its
+	// WAL, so an exhausted drain means the scheduler queues are empty —
+	// then close the scheduler (rejecting, never dropping, anything a
+	// timed-out drain left queued-but-unstarted) and flush every session
+	// log.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	select {
@@ -159,6 +180,9 @@ func main() {
 		log.Printf("apex-server: signal received; draining in-flight requests (up to %s)", *drainWait)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if err := srv.Scheduler().Drain(drainCtx); err != nil {
+			log.Printf("apex-server: scheduler drain: %v (queued work will be rejected, not dropped)", err)
+		}
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			log.Printf("apex-server: drain: %v", err)
 		}

@@ -1,14 +1,21 @@
 // Example server-client runs an in-process apex-server over a synthetic
-// table and drives it with the Go client: two concurrent analyst sessions
-// explore the same dataset under independent budgets, then each audits its
-// own transcript.
+// table and drives it with the Go client: four concurrent analyst
+// sessions explore the same dataset under independent budgets — their
+// distinct workloads coalesced by the per-dataset scheduler into batched
+// columnar passes — then each audits its own transcript, and the example
+// scrapes /metrics once to print the per-mechanism latency summary the
+// scheduler recorded.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -39,22 +46,30 @@ func main() {
 	ts := httptest.NewServer(server.New(reg, server.Config{MaxBudget: 2, AllowSeeds: true}).Handler())
 	defer ts.Close()
 
-	// Two analysts, each with an isolated budget.
+	// Four analysts, each with an isolated budget and its own slice of
+	// the domain — distinct workloads over one dataset, batched by the
+	// scheduler into shared columnar passes.
 	var wg sync.WaitGroup
-	for analyst := 1; analyst <= 2; analyst++ {
+	for analyst := 1; analyst <= 4; analyst++ {
 		wg.Add(1)
 		go func(analyst int) {
 			defer wg.Done()
 			c := client.New(ts.URL)
+			// Opt into bounded backoff: a 429 under load retries instead
+			// of surfacing (off by default).
+			c.Retry = &client.RetryPolicy{MaxRetries: 5}
 			sess, err := c.CreateSession(server.CreateSessionRequest{
 				Dataset: "people", Budget: 1.0, Seed: int64(analyst),
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
+			lo := (analyst - 1) * 25
+			q := fmt.Sprintf(
+				"BIN D ON COUNT(*) WHERE W = { age BETWEEN %d AND %d, age BETWEEN %d AND %d } ERROR 20 CONFIDENCE 0.95;",
+				lo, lo+12, lo+12, lo+25)
 			for {
-				ans, err := c.Query(sess.ID,
-					"BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 20 CONFIDENCE 0.95;")
+				ans, err := c.Query(sess.ID, q)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -74,4 +89,62 @@ func main() {
 		}(analyst)
 	}
 	wg.Wait()
+
+	// One /metrics scrape: summarize the per-mechanism latency histograms
+	// the scheduler recorded for the whole run.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-mechanism latency (from /metrics):")
+	for _, l := range mechanismLatencySummary(string(body)) {
+		fmt.Println("  " + l)
+	}
+}
+
+// mechanismLatencySummary reduces the apex_mechanism_latency_seconds
+// histogram series to "mechanism: N answers, mean X µs" lines.
+func mechanismLatencySummary(metrics string) []string {
+	sums := map[string]float64{}
+	counts := map[string]float64{}
+	for _, line := range strings.Split(metrics, "\n") {
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			continue
+		}
+		labels, val, ok := strings.Cut(rest, "} ")
+		if !ok || !strings.Contains(labels, `mechanism="`) {
+			continue
+		}
+		mech := strings.SplitN(strings.SplitN(labels, `mechanism="`, 2)[1], `"`, 2)[0]
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "apex_mechanism_latency_seconds_sum":
+			sums[mech] = v
+		case "apex_mechanism_latency_seconds_count":
+			counts[mech] = v
+		}
+	}
+	var mechs []string
+	for m := range counts {
+		mechs = append(mechs, m)
+	}
+	sort.Strings(mechs)
+	out := make([]string, 0, len(mechs))
+	for _, m := range mechs {
+		mean := 0.0
+		if counts[m] > 0 {
+			mean = sums[m] / counts[m]
+		}
+		out = append(out, fmt.Sprintf("%-6s %3.0f answers, mean %6.0f µs", m, counts[m], mean*1e6))
+	}
+	return out
 }

@@ -22,8 +22,10 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/mechanism"
 	"repro/internal/noise"
 	"repro/internal/query"
@@ -179,6 +181,20 @@ type Engine struct {
 	rng    *rand.Rand
 	log    []Entry
 
+	// Two-phase bookkeeping: reserved is the summed worst-case loss of
+	// every prepared-but-unfinished plan (admission checks against
+	// budget - spent - reserved, so concurrent plans can never jointly
+	// overrun B), inflight counts those plans, and idle signals when
+	// inflight returns to zero so Seal can wait out in-flight work.
+	reserved float64
+	inflight int
+	idle     sync.Cond
+
+	// execMu serializes mechanism runs — and with them every draw from
+	// rng, which is not safe for concurrent use — without holding the
+	// engine lock across the scan.
+	execMu sync.Mutex
+
 	transforms *workload.TransformCache
 	reuse      bool
 	answers    map[string]*cachedAnswer
@@ -218,7 +234,7 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 	if transforms == nil {
 		transforms = workload.NewTransformCache(cfg.TransformOptions)
 	}
-	return &Engine{
+	e := &Engine{
 		data:       d,
 		budget:     cfg.Budget,
 		mode:       cfg.Mode,
@@ -228,7 +244,9 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 		reuse:      cfg.Reuse,
 		answers:    make(map[string]*cachedAnswer),
 		onCommit:   cfg.OnCommit,
-	}, nil
+	}
+	e.idle.L = &e.mu
+	return e, nil
 }
 
 // Replay rebuilds an engine from a recovered transcript: the entries are
@@ -265,6 +283,15 @@ func Replay(d *dataset.Table, cfg Config, entries []Entry) (*Engine, error) {
 
 // Budget returns the owner's total budget B.
 func (e *Engine) Budget() float64 { return e.budget }
+
+// Table returns the sensitive table the engine answers over.
+func (e *Engine) Table() *dataset.Table { return e.data }
+
+// Transforms returns the transformation cache the engine evaluates
+// through — the per-dataset shared cache when the server wired one up.
+// Batch schedulers use it to warm noise-free evaluations for many plans
+// in one grouped columnar pass.
+func (e *Engine) Transforms() *workload.TransformCache { return e.transforms }
 
 // Mode returns the translator mode the engine was built with.
 func (e *Engine) Mode() Mode { return e.mode }
@@ -359,39 +386,76 @@ func (e *Engine) Ask(q *query.Query) (*Answer, error) {
 // runs, the query is abandoned and nothing is charged or logged. A query
 // whose mechanism has already started runs to completion — charging actual
 // loss for a half-delivered answer would break the transcript invariant.
+//
+// AskContext is the single-caller composition of the two-phase API:
+// Prepare (translate, admit, reserve — under the engine lock), Execute
+// (the mechanism's scan and noise draw — outside it), Commit (settle the
+// actual loss and append the transcript entry). Batch schedulers drive
+// the phases directly to interleave many sessions' scans.
 func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error) {
+	plan, ans, err := e.Prepare(ctx, q)
+	if err != nil || ans != nil {
+		return ans, err
+	}
 	if err := ctx.Err(); err != nil {
+		// Canceled after admission but before the mechanism ran: abandon
+		// the plan, releasing its reservation; nothing is charged or logged.
+		e.Abort(plan)
 		return nil, err
 	}
+	return e.Commit(plan, e.Execute(plan))
+}
+
+// Prepare runs the first phase of a query under the engine lock: validate,
+// translate every applicable mechanism, pick the best by the engine mode,
+// and reserve its worst-case loss against the budget. Exactly one of the
+// three results is meaningful:
+//
+//   - (plan, nil, nil): the query was admitted. The caller owns the plan
+//     and must finish it with Commit or Abort — an abandoned plan leaks
+//     its reservation and blocks Seal.
+//   - (nil, answer, nil): the query was answered immediately from the
+//     reuse cache (§9 inferencer) and is already committed.
+//   - (nil, nil, err): the query was denied (ErrDenied, logged) or failed
+//     validation/translation (nothing logged).
+//
+// Admission checks against budget - spent - reserved: reservations held by
+// concurrent in-flight plans count as spent until they settle, so parallel
+// plans can never jointly overrun B (their commits stay valid under
+// Definition 6.1 in any completion order).
+func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tr, err := e.transform(q)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
 	// Re-check after potentially waiting on the lock behind other sessions'
-	// mechanism runs.
+	// commits.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if e.sealed {
-		return nil, ErrSealed
+		return nil, nil, ErrSealed
 	}
 
 	key := workload.Key(q.Predicates)
 	if ans := e.tryReuse(q, key); ans != nil {
 		if err := e.append(Entry{Query: q, Answer: ans}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ans, nil
+		return nil, ans, nil
 	}
 
-	remaining := e.budget - e.spent
+	remaining := e.budget - e.spent - e.reserved
 	var best *Choice
 	for _, m := range e.mechs {
 		if !m.Applicable(q, tr) {
@@ -399,7 +463,7 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 		}
 		cost, err := m.Translate(q, tr)
 		if err != nil {
-			return nil, fmt.Errorf("engine: %s translate: %w", m.Name(), err)
+			return nil, nil, fmt.Errorf("engine: %s translate: %w", m.Name(), err)
 		}
 		// Only mechanisms whose worst case fits may run (privacy analyzer).
 		if cost.Upper > remaining+epsTol {
@@ -412,36 +476,112 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 	}
 	if best == nil {
 		if err := e.append(Entry{Query: q, Denied: true}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, ErrDenied
+		return nil, nil, ErrDenied
 	}
 
-	res, err := best.Mechanism.Run(q, tr, e.data, e.rng)
-	if err != nil {
-		return nil, fmt.Errorf("engine: %s run: %v: %w", best.Mechanism.Name(), err, ErrMechanismFailure)
+	e.reserved += best.Cost.Upper
+	e.inflight++
+	return &exec.Plan{
+		Query:       q,
+		Transformed: tr,
+		Mechanism:   best.Mechanism,
+		Cost:        best.Cost,
+		Key:         key,
+		Needs:       planNeeds(best.Mechanism, q, tr),
+		Owner:       e,
+	}, nil, nil
+}
+
+// Execute runs the plan's mechanism — the second phase, outside the engine
+// lock. Runs on one engine are serialized (the engine's random source is
+// single-stream), but independent engines execute concurrently, and the
+// noise-free scan inside typically hits the shared per-dataset evaluation
+// cache a batching scheduler warmed beforehand.
+func (e *Engine) Execute(p *exec.Plan) *exec.Outcome {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	start := time.Now()
+	res, err := p.Mechanism.Run(p.Query, p.Transformed, e.data, e.rng)
+	return &exec.Outcome{Result: res, Err: err, Elapsed: time.Since(start)}
+}
+
+// Commit settles a plan under the engine lock: the reservation is
+// released, the actual loss is charged (Algorithm 1 line 12), the
+// transcript entry is appended and the commit hook runs — ordered exactly
+// like the transcript, as in the single-phase path. A mechanism failure
+// in the outcome charges and logs nothing (matching Ask), and an actual
+// loss above the reserved upper bound is rejected as a mechanism failure.
+func (e *Engine) Commit(p *exec.Plan, o *exec.Outcome) (*Answer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.finish(p); err != nil {
+		return nil, err
 	}
-	if res.Epsilon > best.Cost.Upper+epsTol {
+	if o.Err != nil {
+		return nil, fmt.Errorf("engine: %s run: %v: %w", p.Mechanism.Name(), o.Err, ErrMechanismFailure)
+	}
+	res := o.Result
+	if res.Epsilon > p.Cost.Upper+epsTol {
 		return nil, fmt.Errorf("engine: %s actual loss %v exceeds declared upper bound %v: %w",
-			best.Mechanism.Name(), res.Epsilon, best.Cost.Upper, ErrMechanismFailure)
+			p.Mechanism.Name(), res.Epsilon, p.Cost.Upper, ErrMechanismFailure)
 	}
 	ans := &Answer{
 		Counts:       res.Counts,
 		Selected:     res.Selected,
-		Predicates:   q.Predicates,
+		Predicates:   p.Query.Predicates,
 		Epsilon:      res.Epsilon,
-		EpsilonUpper: best.Cost.Upper,
-		Mechanism:    best.Mechanism.Name(),
+		EpsilonUpper: p.Cost.Upper,
+		Mechanism:    p.Mechanism.Name(),
 	}
-	// Charge the ACTUAL loss (Algorithm 1 line 12).
 	e.spent += res.Epsilon
-	if err := e.append(Entry{Query: q, Answer: ans, Epsilon: res.Epsilon}); err != nil {
+	if err := e.append(Entry{Query: p.Query, Answer: ans, Epsilon: res.Epsilon}); err != nil {
 		// The charge stands — the noisy answer exists even if the analyst
 		// never sees it — so a crash can only over-, never under-account.
 		return nil, err
 	}
-	e.remember(q, key, ans.Counts)
+	e.remember(p.Query, p.Key, ans.Counts)
 	return ans, nil
+}
+
+// Abort abandons a prepared plan without running (or after a run whose
+// result is discarded before any noise reached the caller): the
+// reservation is released and nothing is charged or logged.
+func (e *Engine) Abort(p *exec.Plan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.finish(p)
+}
+
+// finish retires a plan's reservation. Caller holds e.mu.
+func (e *Engine) finish(p *exec.Plan) error {
+	if p.Owner != e {
+		return fmt.Errorf("engine: plan was prepared by a different engine")
+	}
+	if p.Finished {
+		return fmt.Errorf("engine: plan already finished")
+	}
+	p.Finished = true
+	e.reserved -= p.Cost.Upper
+	if e.reserved < 0 {
+		e.reserved = 0 // absorb float drift; reservations are short-lived
+	}
+	e.inflight--
+	if e.inflight == 0 {
+		e.idle.Broadcast()
+	}
+	return nil
+}
+
+// planNeeds asks the mechanism which noise-free evaluations its Run will
+// read (mechanism.Prefetcher); mechanisms that don't say get no warmup
+// and simply evaluate through the cache themselves.
+func planNeeds(m mechanism.Mechanism, q *query.Query, tr *workload.Transformed) mechanism.Prefetch {
+	if pf, ok := m.(mechanism.Prefetcher); ok {
+		return pf.Prefetch(q, tr)
+	}
+	return mechanism.Prefetch{}
 }
 
 // append records one transcript entry and runs the commit hook. Caller
@@ -474,7 +614,10 @@ func (e *Engine) ChargeExternal(upper, actual float64, label string) error {
 	if e.sealed {
 		return ErrSealed
 	}
-	if upper > e.budget-e.spent+epsTol {
+	// Reservations held by in-flight plans count as spent here too:
+	// otherwise an external charge racing a prepared plan could jointly
+	// overrun B even though each passed its own admission check.
+	if upper > e.budget-e.spent-e.reserved+epsTol {
 		if err := e.append(Entry{Label: label, Denied: true}); err != nil {
 			return err
 		}
@@ -485,14 +628,18 @@ func (e *Engine) ChargeExternal(upper, actual float64, label string) error {
 }
 
 // Seal closes the engine to new interactions: once it returns, any
-// in-flight Ask or ChargeExternal has fully committed (Seal waits on the
-// engine lock behind it) and every later one fails with ErrSealed,
-// charging and logging nothing. Callers retiring a session's durable log
-// seal first, so no commit can race the log's close.
+// in-flight interaction has fully committed — Seal waits for every
+// prepared plan to finish (Commit or Abort) as well as on the engine lock
+// behind any single-phase caller — and every later one fails with
+// ErrSealed, charging and logging nothing. Callers retiring a session's
+// durable log seal first, so no commit can race the log's close.
 func (e *Engine) Seal() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.sealed = true
+	for e.inflight > 0 {
+		e.idle.Wait()
+	}
 }
 
 // LaplaceNoise draws n independent Laplace(0, b) samples from the
@@ -502,8 +649,10 @@ func (e *Engine) Seal() {
 // caller-supplied generator, so a server's crypto-random-by-default rule
 // covers them too.
 func (e *Engine) LaplaceNoise(b float64, n int) []float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// rng draws are serialized by execMu (not the engine lock) so they
+	// never race a mechanism run executing outside the lock.
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
 	return noise.LaplaceVec(e.rng, b, n)
 }
 

@@ -1,0 +1,74 @@
+// Package exec defines the phase boundary of the engine's two-phase query
+// path. The engine splits Algorithm 1's loop body into explicit phases:
+//
+//  1. Prepare (under the engine lock): validate, translate the query to the
+//     applicable mechanism with the least privacy loss, check the
+//     worst-case loss against the remaining budget, and reserve it. The
+//     result is a Plan.
+//  2. Execute (outside the engine lock): run the chosen mechanism — the
+//     columnar scan plus the noise draw — yielding an Outcome. Because the
+//     engine lock is not held, independent plans can execute concurrently
+//     and a scheduler can coalesce many plans' noise-free scans into one
+//     batched columnar pass.
+//  3. Commit (under the engine lock): settle the actual privacy loss,
+//     release the reservation, append the transcript entry, and run the
+//     commit hook — sequenced exactly like the single-phase path, so the
+//     Definition 6.1 invariant and crash recovery are untouched.
+//
+// The types here are plain data: they deliberately depend only on the
+// query, workload and mechanism layers so both the engine (which issues
+// them) and the scheduler (which batches them) can share the vocabulary
+// without an import cycle.
+package exec
+
+import (
+	"time"
+
+	"repro/internal/mechanism"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Plan is an admitted query whose worst-case privacy loss has been
+// reserved against the engine's budget but whose mechanism has not run
+// yet. A plan is single-use: it must be finished by exactly one
+// Engine.Commit or Engine.Abort, after which Finished is set. Abandoning
+// a plan leaks its reservation and blocks Seal, so schedulers must finish
+// every plan they prepare, even on error paths.
+type Plan struct {
+	// Query is the validated exploration query.
+	Query *query.Query
+	// Transformed is T(W) for the query's workload, from the engine's
+	// (typically per-dataset shared) transformation cache.
+	Transformed *workload.Transformed
+	// Mechanism is the translator's choice for this query and mode.
+	Mechanism mechanism.Mechanism
+	// Cost is the mechanism's translated privacy-loss interval; Cost.Upper
+	// is the amount reserved against the budget until the plan finishes.
+	Cost mechanism.Cost
+	// Key is the workload's canonical cache key (workload.Key).
+	Key string
+	// Needs declares the noise-free evaluations the mechanism will read
+	// when it runs, so a batching scheduler can warm the shared
+	// per-dataset caches with one grouped columnar pass first. Warming
+	// is purely an optimization: a mechanism whose needs are understated
+	// simply computes the missing evaluation itself.
+	Needs mechanism.Prefetch
+	// Owner is the engine that issued the plan; Commit and Abort refuse
+	// plans prepared by another engine.
+	Owner any
+	// Finished is set (under the issuing engine's lock) once the plan has
+	// been committed or aborted.
+	Finished bool
+}
+
+// Outcome is the result of executing a plan's mechanism.
+type Outcome struct {
+	// Result is the mechanism's noisy output; nil when Err is set.
+	Result *mechanism.Result
+	// Err is the mechanism failure, if any.
+	Err error
+	// Elapsed is the mechanism's wall-clock run time (the scan plus the
+	// noise draw), recorded for the per-mechanism latency metrics.
+	Elapsed time.Duration
+}

@@ -70,6 +70,11 @@ func lnInvUnionBound(beta, l float64) float64 {
 	return -math.Log(inner)
 }
 
+// Prefetch implements Prefetcher: LM reads the exact workload answers.
+func (LM) Prefetch(*query.Query, *workload.Transformed) Prefetch {
+	return Prefetch{Truth: true}
+}
+
 // Run implements Mechanism (Algorithm 2's run).
 func (m LM) Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand) (*Result, error) {
 	cost, err := m.Translate(q, tr)
@@ -128,6 +133,11 @@ func (m LTM) Translate(q *query.Query, tr *workload.Transformed) (Cost, error) {
 		return Cost{}, fmt.Errorf("mechanism: LTM translation produced invalid epsilon %v", eps)
 	}
 	return Cost{Lower: eps, Upper: eps}, nil
+}
+
+// Prefetch implements Prefetcher: LTM reads the exact workload answers.
+func (LTM) Prefetch(*query.Query, *workload.Transformed) Prefetch {
+	return Prefetch{Truth: true}
 }
 
 // Run implements Mechanism.

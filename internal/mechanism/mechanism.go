@@ -70,6 +70,25 @@ type Mechanism interface {
 	Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand) (*Result, error)
 }
 
+// Prefetch describes the noise-free evaluations a mechanism's Run reads
+// from the workload transformation: the partition histogram x = T_W(D)
+// and/or the exact per-predicate answers. A batching executor uses it to
+// warm the shared per-dataset evaluation cache for many queries in one
+// grouped columnar pass before the mechanisms run.
+type Prefetch struct {
+	Histogram bool
+	Truth     bool
+}
+
+// Prefetcher is implemented by mechanisms that can declare, ahead of Run,
+// which noise-free evaluations they will read. Declaring is optional and
+// purely an optimization: a mechanism that understates (or doesn't
+// implement the interface) simply computes the evaluation itself inside
+// Run, through the same cache.
+type Prefetcher interface {
+	Prefetch(q *query.Query, tr *workload.Transformed) Prefetch
+}
+
 // ErrNotApplicable is returned by Translate/Run when the mechanism cannot
 // answer the query (wrong kind, or a required matrix is unavailable).
 var ErrNotApplicable = errors.New("mechanism: not applicable to this query")

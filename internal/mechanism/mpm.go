@@ -64,6 +64,11 @@ func (m MPM) Translate(q *query.Query, tr *workload.Transformed) (Cost, error) {
 	return Cost{Lower: epsMax / mm, Upper: epsMax}, nil
 }
 
+// Prefetch implements Prefetcher: MPM reads the exact workload answers.
+func (MPM) Prefetch(*query.Query, *workload.Transformed) Prefetch {
+	return Prefetch{Truth: true}
+}
+
 // Run implements Mechanism (Algorithm 4). The returned Epsilon is the
 // privacy actually spent: ε_i of the poke at which the mechanism returned.
 func (m MPM) Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand) (*Result, error) {

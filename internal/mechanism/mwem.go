@@ -84,6 +84,11 @@ func (m MWEM) Translate(q *query.Query, tr *workload.Transformed) (Cost, error) 
 	return Cost{Lower: eps, Upper: eps}, nil
 }
 
+// Prefetch implements Prefetcher: MWEM reads the partition histogram.
+func (MWEM) Prefetch(*query.Query, *workload.Transformed) Prefetch {
+	return Prefetch{Histogram: true}
+}
+
 // Run implements Mechanism: the classic MWEM loop.
 func (m MWEM) Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand) (*Result, error) {
 	cost, err := m.Translate(q, tr)

@@ -187,6 +187,11 @@ func (m *SM) passes(p *smPlan, eps, alpha, beta float64) bool {
 	return be+db+pp/2 < beta
 }
 
+// Prefetch implements Prefetcher: SM reads the partition histogram.
+func (*SM) Prefetch(*query.Query, *workload.Transformed) Prefetch {
+	return Prefetch{Histogram: true}
+}
+
 // Run implements Mechanism (Algorithm 3's run).
 func (m *SM) Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand) (*Result, error) {
 	cost, err := m.Translate(q, tr)

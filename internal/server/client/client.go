@@ -6,11 +6,13 @@ package client
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"repro/internal/server"
 )
@@ -21,6 +23,25 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry, when set, retries queue-full (429) rejections with bounded
+	// exponential backoff. Nil — the default — surfaces the 429
+	// immediately; only opt in for callers that prefer latency over an
+	// explicit backpressure signal. Only 429s are retried: they mean the
+	// request was never admitted, so retrying can never double-ask.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy bounds the client-side backoff for 429 rejections.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first try.
+	MaxRetries int
+	// BaseDelay is the first backoff, doubled per retry; 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; 0 means 5s. The server's Retry-After
+	// hint is honored when it is longer than the computed backoff.
+	MaxDelay time.Duration
+	// sleep is stubbed in tests; nil means time.Sleep.
+	sleep func(time.Duration)
 }
 
 // New returns a client for the server at baseURL.
@@ -33,11 +54,25 @@ type APIError struct {
 	StatusCode int
 	Code       string
 	Message    string
+	// RetryAfter is the server's backoff hint on 429 replies (zero when
+	// absent).
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
+}
+
+// IsBackpressure reports whether err is a queue-full rejection (HTTP 429)
+// — the dataset's scheduler queue was at capacity and the request was
+// never admitted. Distinct from a budget denial, which is an in-band
+// QueryResponse with Denied set: backpressure is transient and retryable,
+// a denial is a permanent analyzer verdict that consumed the transcript
+// slot it was recorded in.
+func IsBackpressure(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && (ae.StatusCode == http.StatusTooManyRequests || ae.Code == server.CodeQueueFull)
 }
 
 // Datasets lists the registered datasets.
@@ -108,19 +143,55 @@ func (c *Client) TranscriptSince(sessionID string, since int) (*server.Transcrip
 }
 
 func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+	var encoded []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		body = bytes.NewReader(b)
+		encoded = b
+	}
+	err := c.doOnce(method, path, encoded, out)
+	if c.Retry == nil {
+		return err
+	}
+	// Bounded exponential backoff, 429-only: a queue-full rejection means
+	// the request was never admitted, so a retry can never double-charge.
+	delay := c.Retry.BaseDelay
+	if delay <= 0 {
+		delay = 100 * time.Millisecond
+	}
+	maxDelay := c.Retry.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	sleep := c.Retry.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 0; attempt < c.Retry.MaxRetries && IsBackpressure(err); attempt++ {
+		wait := min(delay, maxDelay)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > wait {
+			wait = ae.RetryAfter
+		}
+		sleep(wait)
+		delay *= 2
+		err = c.doOnce(method, path, encoded, out)
+	}
+	return err
+}
+
+func (c *Client) doOnce(method, path string, encoded []byte, out any) error {
+	var body io.Reader
+	if encoded != nil {
+		body = bytes.NewReader(encoded)
 	}
 	req, err := http.NewRequest(method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if in != nil {
+	if encoded != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -137,11 +208,15 @@ func (c *Client) do(method, path string, in, out any) error {
 		return fmt.Errorf("client: read response: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
+		ae := &APIError{StatusCode: resp.StatusCode, Code: "unknown", Message: string(data)}
 		var e server.ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Code: e.Code, Message: e.Error}
+			ae.Code, ae.Message = e.Code, e.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Code: "unknown", Message: string(data)}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {

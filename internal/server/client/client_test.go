@@ -1,0 +1,125 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// flakyServer replies 429 (with Retry-After) n times, then succeeds.
+func flakyServer(t *testing.T, rejections int32) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= rejections {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(server.ErrorResponse{
+				Error: "dataset queue is full", Code: server.CodeQueueFull,
+			})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.QueryResponse{Mechanism: "LM", Epsilon: 0.1})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestRetryOffByDefault: without a policy the 429 surfaces immediately,
+// distinctly identifiable as backpressure.
+func TestRetryOffByDefault(t *testing.T) {
+	srv, calls := flakyServer(t, 1000)
+	c := New(srv.URL)
+	_, err := c.Query("sess", "whatever")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !IsBackpressure(err) {
+		t.Fatalf("IsBackpressure(%v) = false", err)
+	}
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.StatusCode != http.StatusTooManyRequests || ae.Code != server.CodeQueueFull {
+		t.Fatalf("unexpected error shape: %+v", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", ae.RetryAfter)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server called %d times, want 1 (no retries by default)", got)
+	}
+}
+
+// TestRetryBacksOffAndSucceeds: with a policy, 429s are retried with
+// exponential backoff (respecting Retry-After) until the bound.
+func TestRetryBacksOffAndSucceeds(t *testing.T) {
+	srv, calls := flakyServer(t, 2)
+	var slept []time.Duration
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{
+		MaxRetries: 3,
+		BaseDelay:  50 * time.Millisecond,
+		sleep:      func(d time.Duration) { slept = append(slept, d) },
+	}
+	resp, err := c.Query("sess", "whatever")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Mechanism != "LM" {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server called %d times, want 3", got)
+	}
+	// Retry-After (1s) dominates the 50ms/100ms computed backoffs.
+	if len(slept) != 2 || slept[0] != time.Second || slept[1] != time.Second {
+		t.Fatalf("sleeps = %v, want [1s 1s]", slept)
+	}
+}
+
+// TestRetryGivesUpAfterBound: the policy is bounded — a persistent 429
+// eventually surfaces.
+func TestRetryGivesUpAfterBound(t *testing.T) {
+	srv, calls := flakyServer(t, 1000)
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{MaxRetries: 2, BaseDelay: time.Millisecond, sleep: func(time.Duration) {}}
+	_, err := c.Query("sess", "whatever")
+	if !IsBackpressure(err) {
+		t.Fatalf("want backpressure error, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server called %d times, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestNoRetryOnOtherErrors: only 429s are retried.
+func TestNoRetryOnOtherErrors(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(server.ErrorResponse{Error: "unknown session", Code: server.CodeNotFound})
+	}))
+	defer srv.Close()
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{MaxRetries: 5, BaseDelay: time.Millisecond, sleep: func(time.Duration) {}}
+	_, err := c.Query("sess", "whatever")
+	if err == nil || IsBackpressure(err) {
+		t.Fatalf("want a non-backpressure error, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server called %d times, want 1", got)
+	}
+}
+
+func asAPIError(err error, target **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}

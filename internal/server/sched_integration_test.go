@@ -1,0 +1,196 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+const binQuery = "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 30 CONFIDENCE 0.95;"
+
+// TestQueryBackpressure429: a tiny scheduler queue under concurrent load
+// must reject with HTTP 429 + Retry-After + the queue_full code, and a
+// client-side retry policy must ride the rejections out.
+func TestQueryBackpressure429(t *testing.T) {
+	// A table big enough that each distinct workload's scan is real work,
+	// so requests actually pile up behind the single worker.
+	reg := server.NewRegistry()
+	table, err := dataset.ReadCSV(strings.NewReader(peopleCSV(100000, 1)), peopleSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("people", table); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(reg, server.Config{
+		Sched: sched.Config{QueueDepth: 1, MaxPerSession: 1, Workers: 1, RetryAfter: time.Second},
+	}).Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	const analysts = 12
+	sessions := make([]string, analysts)
+	for i := range sessions {
+		sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = sess.ID
+	}
+	// Every request asks a fresh distinct 21-predicate workload, so
+	// nothing is served from the evaluation memo for free and each scan
+	// is multiple milliseconds — far above the per-request HTTP cost.
+	next := new(atomic.Int64)
+	distinctQuery := func() string {
+		n := next.Add(1)
+		var preds []string
+		for b := 0; b < 100; b += 5 {
+			preds = append(preds, fmt.Sprintf("age BETWEEN %d AND %d", b, b+5))
+		}
+		preds = append(preds, fmt.Sprintf("age BETWEEN %d.25 AND %d.75", n%50, n%50+10))
+		return "BIN D ON COUNT(*) WHERE W = { " + strings.Join(preds, ", ") + " } ERROR 40 CONFIDENCE 0.95;"
+	}
+
+	var ok, pressured atomic.Int64
+	var sawRetryAfter atomic.Bool
+	// A burst of concurrent analysts against a depth-1 queue and a single
+	// worker must shed load; a few bounded rounds absorb scheduling luck.
+	for round := 0; round < 20 && pressured.Load() == 0; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < analysts; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 2; j++ {
+					_, err := c.Query(sessions[i], distinctQuery())
+					switch {
+					case err == nil:
+						ok.Add(1)
+					case client.IsBackpressure(err):
+						pressured.Add(1)
+						var ae *client.APIError
+						if asClientAPIError(err, &ae) && ae.RetryAfter > 0 {
+							sawRetryAfter.Store(true)
+						}
+					default:
+						t.Errorf("analyst %d: %v", i, err)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no query succeeded")
+	}
+	if pressured.Load() == 0 {
+		t.Fatal("queue depth 1 under 12 concurrent analysts never produced a 429")
+	}
+	if !sawRetryAfter.Load() {
+		t.Fatal("429 replies carried no Retry-After hint")
+	}
+
+	// With the bounded-backoff retry enabled, the same pressure resolves.
+	c.Retry = &client.RetryPolicy{MaxRetries: 500, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	var wg2 sync.WaitGroup
+	for i := 0; i < analysts; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			if _, err := c.Query(sessions[i], distinctQuery()); err != nil {
+				t.Errorf("analyst %d with retry: %v", i, err)
+			}
+		}(i)
+	}
+	wg2.Wait()
+}
+
+// TestMetricsEndpoint: /metrics must expose the scheduler and mechanism
+// series in the Prometheus text format after traffic has flowed.
+func TestMetricsEndpoint(t *testing.T) {
+	c := newTestServer(t, server.Config{})
+	sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(sess.ID, binQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE apex_mechanism_latency_seconds histogram",
+		`apex_sched_queue_depth{dataset="people"}`,
+		`apex_sched_batch_size_count{dataset="people"} 3`,
+		`apex_budget_spend_epsilon_count{dataset="people"} 3`,
+		`apex_sched_requests_total{dataset="people",outcome="answered"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestShutdownStopsScheduler: after Server.Shutdown the query path must
+// answer 503 unavailable instead of hanging or dropping requests.
+func TestShutdownStopsScheduler(t *testing.T) {
+	reg := server.NewRegistry()
+	table, err := dataset.ReadCSV(strings.NewReader(peopleCSV(100, 1)), peopleSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("people", table); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(sess.ID, binQuery); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Query(sess.ID, binQuery)
+	var ae *client.APIError
+	if !asClientAPIError(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable || ae.Code != server.CodeUnavailable {
+		t.Fatalf("post-shutdown query: got %v, want 503 %s", err, server.CodeUnavailable)
+	}
+}
+
+func asClientAPIError(err error, target **client.APIError) bool {
+	ae, ok := err.(*client.APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}

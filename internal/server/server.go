@@ -11,7 +11,9 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -31,12 +33,24 @@ type Config struct {
 	// per-session write-ahead log before the answer is released. Attach
 	// the same store to the registry and run RecoverSessions at startup.
 	Store *store.Store
+	// Sched tunes the per-dataset execution scheduler every query runs
+	// through: queue depth (backpressure threshold), workers and batch
+	// size per dataset, and the Retry-After hint for 429 rejections.
+	// Zero values take the scheduler defaults. Sched.Metrics is
+	// overwritten with the server's registry.
+	Sched sched.Config
+	// Metrics, when set, is the registry /metrics serves; nil builds a
+	// private one.
+	Metrics *metrics.Registry
 }
 
-// Server wires the registry and session manager to an HTTP API.
+// Server wires the registry, session manager, per-dataset scheduler and
+// metrics registry to an HTTP API.
 type Server struct {
 	registry   *Registry
 	sessions   *SessionManager
+	sched      *sched.Scheduler
+	metrics    *metrics.Registry
 	allowSeeds bool
 }
 
@@ -46,9 +60,17 @@ func New(reg *Registry, cfg Config) *Server {
 	if cfg.Store != nil {
 		sessions.AttachStore(cfg.Store)
 	}
+	reg2 := cfg.Metrics
+	if reg2 == nil {
+		reg2 = metrics.NewRegistry()
+	}
+	schedCfg := cfg.Sched
+	schedCfg.Metrics = reg2
 	return &Server{
 		registry:   reg,
 		sessions:   sessions,
+		sched:      sched.New(schedCfg),
+		metrics:    reg2,
 		allowSeeds: cfg.AllowSeeds,
 	}
 }
@@ -93,9 +115,16 @@ func (s *Server) RecoverSessions(st *store.Store) (restored int, skipped []strin
 	return restored, skipped, nil
 }
 
-// Shutdown flushes every durable session log to disk. Call after the
-// HTTP listener has drained in-flight requests.
-func (s *Server) Shutdown() error { return s.sessions.Shutdown() }
+// Shutdown stops the scheduler — completing every queued-but-unstarted
+// request with a rejection so nothing accepted is silently dropped — and
+// then flushes every durable session log to disk. Call after the HTTP
+// listener has drained in-flight requests: a clean drain leaves the
+// queues empty (handlers block until their queries execute), so the
+// scheduler close only rejects work when the drain timed out.
+func (s *Server) Shutdown() error {
+	s.sched.Close()
+	return s.sessions.Shutdown()
+}
 
 // Registry returns the server's dataset registry (the startup loader in
 // cmd/apex-server registers datasets through it).
@@ -103,6 +132,12 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // Sessions returns the server's session manager.
 func (s *Server) Sessions() *SessionManager { return s.sessions }
+
+// Metrics returns the server's metrics registry (served at /metrics).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Scheduler returns the per-dataset execution scheduler.
+func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 
 // Wire types. Every response is JSON; errors use ErrorResponse with a
 // machine-readable code.
@@ -120,6 +155,8 @@ const (
 	CodeNotFound     = "not_found"      // unknown dataset or session
 	CodeConflict     = "conflict"       // duplicate dataset name
 	CodePolicyDenied = "policy_denied"  // owner policy (budget cap, session limit)
+	CodeQueueFull    = "queue_full"     // dataset queue at capacity; retry after backoff
+	CodeUnavailable  = "unavailable"    // server draining for shutdown
 	CodeInternal     = "internal_error" // unexpected engine failure
 )
 
@@ -227,6 +264,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/sessions/{id}/transcript", s.handleTranscript)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	return mux
 }
 
@@ -365,11 +403,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	eng := sess.Engine()
-	ans, err := eng.AskContext(r.Context(), q)
+	// Every query runs through the per-dataset scheduler: admission with
+	// backpressure, fair dispatch across sessions, and one batched
+	// columnar pass for the noise-free scans of whatever else is pending
+	// on this dataset. Engine semantics (and error surface) are exactly
+	// those of a direct AskContext.
+	ans, err := s.sched.Ask(r.Context(), sess.Dataset, sess.ID, eng, q)
 	// Budget is immutable, so deriving remaining from one Spent() read
 	// keeps spent+remaining == B even under concurrent queries.
 	spent := eng.Spent()
 	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		// Backpressure: the dataset's queue is at capacity. 429 with a
+		// Retry-After hint; nothing was admitted, charged or logged.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.sched.RetryAfter()+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"dataset queue is full; retry after backoff")
+	case errors.Is(err, sched.ErrShutdown):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"server is draining; retry against the restarted instance")
 	case errors.Is(err, engine.ErrDenied):
 		writeJSON(w, http.StatusOK, QueryResponse{
 			Denied:    true,
@@ -389,8 +441,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// The session was closed while this query was in flight.
 		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
 	case err != nil && r.Context().Err() != nil:
-		// Client went away; nothing was charged.
-		writeError(w, http.StatusRequestTimeout, CodeBadRequest, "request canceled")
+		// Client went away. The scheduler abandons canceled work before
+		// anything is charged (queued, admitted or even executed-but-
+		// uncommitted plans are aborted); only a cancellation landing
+		// inside the commit itself leaves a charge, and then the paid
+		// answer is in the transcript.
+		writeError(w, http.StatusRequestTimeout, CodeBadRequest,
+			"request canceled; any committed charge is visible in the transcript")
 	case errors.Is(err, engine.ErrMechanismFailure):
 		// The raw error can carry data-dependent values (e.g. an actual
 		// loss that overran its bound), so the analyst gets a generic

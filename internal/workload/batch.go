@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// BatchItem asks for one workload's noise-free evaluations to be warmed:
+// the partition histogram and/or the exact per-predicate answers.
+type BatchItem struct {
+	Tr        *Transformed
+	Histogram bool
+	Truth     bool
+}
+
+// EvaluateBatch warms the noise-free evaluation memos of several
+// workloads over one table in a single grouped columnar pass: the
+// predicates of every batched workload are deduplicated by their
+// canonical rendered form (the same identity Key uses), each unique
+// predicate is evaluated exactly once — in parallel across CPUs — and
+// every workload's histogram/true-answer memo is then assembled from the
+// shared bitmaps. N pending distinct workloads that share predicates
+// cost one scan per unique predicate instead of one per (workload,
+// predicate) pair, and the table's columns stay hot across the group.
+//
+// The assembly runs the identical accumulation code as the unbatched
+// path, so memoized results — including out-of-domain errors — are
+// bit-for-bit what an unbatched evaluation would have produced; later
+// Histogram/TrueAnswers calls simply hit the memo. Workloads whose
+// kernels cannot compile (opaque predicates), that were not produced by
+// this cache, or whose results are already memoized are skipped — their
+// mechanisms evaluate through the ordinary path, so warming is never
+// required for correctness.
+func (c *TransformCache) EvaluateBatch(d *dataset.Table, items []BatchItem) {
+	type shared struct {
+		cp *dataset.CompiledPredicate
+		bm *dataset.Bitmap
+	}
+	uniq := make(map[string]*shared)
+	var order []*shared
+
+	// Collection pass: decide what each item still needs and map its
+	// predicates onto the deduplicated evaluation set.
+	type task struct {
+		tr         *Transformed
+		srcs       []*shared // aligned with tr.preds
+		hist, trut bool
+	}
+	var tasks []task
+	for _, it := range items {
+		tr := it.Tr
+		if tr == nil || tr.memo == nil {
+			continue
+		}
+		k := tr.kernels()
+		if k.err != nil {
+			continue
+		}
+		// Histogram is only defined for materialized transformations, and
+		// anything already memoized needs no work.
+		hist := it.Histogram && tr.Materialized() && !tr.memo.ready(&tr.memo.hist, d)
+		trut := it.Truth && !tr.memo.ready(&tr.memo.truth, d)
+		if !hist && !trut {
+			continue
+		}
+		srcs := make([]*shared, len(tr.preds))
+		for j, p := range tr.preds {
+			key := p.String()
+			s, ok := uniq[key]
+			if !ok {
+				s = &shared{cp: k.preds[j]}
+				uniq[key] = s
+				order = append(order, s)
+			}
+			srcs[j] = s
+		}
+		tasks = append(tasks, task{tr: tr, srcs: srcs, hist: hist, trut: trut})
+	}
+	if len(tasks) == 0 {
+		return
+	}
+
+	// Evaluation pass: one columnar scan per unique predicate across the
+	// whole batch, spread over the CPUs.
+	if nw := min(runtime.GOMAXPROCS(0), len(order)); nw > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(order) {
+						return
+					}
+					order[i].bm = order[i].cp.Eval(d)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, s := range order {
+			s.bm = s.cp.Eval(d)
+		}
+	}
+
+	// Assembly pass: fill each workload's memo from the shared bitmaps.
+	for _, t := range tasks {
+		get := func(pi int, _ *dataset.Bitmap) *dataset.Bitmap { return t.srcs[pi].bm }
+		if t.hist {
+			t.tr.memo.warmHistogram(t.tr, d, get)
+		}
+		if t.trut {
+			t.tr.memo.warmTruth(t.tr, d, get)
+		}
+	}
+}

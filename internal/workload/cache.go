@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 )
@@ -111,8 +112,17 @@ type memoKey struct {
 
 type memoEntry struct {
 	once sync.Once
+	done atomic.Bool // set once vals/err are final; lets batchers peek
 	vals []float64
 	err  error
+}
+
+// compute runs fn at most once and marks the entry ready.
+func (e *memoEntry) compute(fn func() ([]float64, error)) {
+	e.once.Do(func() {
+		e.vals, e.err = fn()
+		e.done.Store(true)
+	})
 }
 
 // memoMaxTables bounds each memo map; in practice a server evaluates one
@@ -138,11 +148,22 @@ func (m *evalMemo) get(mp *map[memoKey]*memoEntry, d *dataset.Table) *memoEntry 
 	return e
 }
 
+// ready reports whether the memoized value for d is already final in mp,
+// without creating an entry. Batchers use it to skip work another batch
+// (or an unbatched evaluation) has done.
+func (m *evalMemo) ready(mp *map[memoKey]*memoEntry, d *dataset.Table) bool {
+	k := memoKey{t: d, n: d.Size()}
+	m.mu.Lock()
+	e, ok := (*mp)[k]
+	m.mu.Unlock()
+	return ok && e.done.Load()
+}
+
 // histogram returns a copy of the memoized x = T_W(D), computing it once
 // per (workload, table) across all concurrent sessions.
 func (m *evalMemo) histogram(tr *Transformed, d *dataset.Table) ([]float64, error) {
 	e := m.get(&m.hist, d)
-	e.once.Do(func() { e.vals, e.err = tr.histogram(d) })
+	e.compute(func() ([]float64, error) { return tr.histogram(d) })
 	if e.err != nil {
 		return nil, e.err
 	}
@@ -152,6 +173,20 @@ func (m *evalMemo) histogram(tr *Transformed, d *dataset.Table) ([]float64, erro
 // trueAnswers returns a copy of the memoized exact workload answers.
 func (m *evalMemo) trueAnswers(tr *Transformed, d *dataset.Table) []float64 {
 	e := m.get(&m.truth, d)
-	e.once.Do(func() { e.vals = tr.trueAnswers(d) })
+	e.compute(func() ([]float64, error) { return tr.trueAnswers(d), nil })
 	return append([]float64(nil), e.vals...)
+}
+
+// warmHistogram memoizes the histogram computed from a shared predicate-
+// bitmap source (the batched path), without copying the result out.
+func (m *evalMemo) warmHistogram(tr *Transformed, d *dataset.Table, get predSource) {
+	e := m.get(&m.hist, d)
+	e.compute(func() ([]float64, error) { return tr.histogramWith(d, get) })
+}
+
+// warmTruth memoizes the exact answers computed from a shared predicate-
+// bitmap source (the batched path), without copying the result out.
+func (m *evalMemo) warmTruth(tr *Transformed, d *dataset.Table, get predSource) {
+	e := m.get(&m.truth, d)
+	e.compute(func() ([]float64, error) { return tr.trueAnswersWith(d, get), nil })
 }

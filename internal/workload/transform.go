@@ -218,11 +218,33 @@ func (tr *Transformed) Histogram(d *dataset.Table) ([]float64, error) {
 	return tr.histogram(d)
 }
 
+// predSource supplies a predicate's selection bitmap by workload index.
+// The scratch bitmap may be used as the backing store and is reused
+// across calls; callers only read the returned bitmap's words. The
+// batched evaluation path uses it to feed many workloads from one shared,
+// deduplicated set of predicate evaluations.
+type predSource func(pi int, scratch *dataset.Bitmap) *dataset.Bitmap
+
 // histogram is the uncached evaluation behind Histogram.
 func (tr *Transformed) histogram(d *dataset.Table) ([]float64, error) {
+	return tr.histogramWith(d, nil)
+}
+
+// histogramWith is histogram with an optional predicate-bitmap source;
+// nil means every predicate is evaluated in place (the unbatched path).
+// Both paths run the identical accumulation over the bitmap words, so
+// batched results are bit-for-bit equal to unbatched ones, including the
+// out-of-domain error a bad row produces.
+func (tr *Transformed) histogramWith(d *dataset.Table, get predSource) ([]float64, error) {
 	k := tr.kernels()
 	if k.err != nil || k.comps == nil {
 		return tr.HistogramRows(d)
+	}
+	if get == nil {
+		get = func(pi int, scratch *dataset.Bitmap) *dataset.Bitmap {
+			k.preds[pi].EvalInto(d, scratch)
+			return scratch
+		}
 	}
 	n := d.Size()
 	x := make([]float64, tr.parts)
@@ -231,7 +253,7 @@ func (tr *Transformed) histogram(d *dataset.Table) ([]float64, error) {
 	}
 	idx := make([]int32, n)    // per-row global partition, mixed radix
 	masks := make([]uint64, n) // per-row signature within one component
-	sel := dataset.NewBitmap(n)
+	scratch := dataset.NewBitmap(n)
 	// Out-of-domain handling must match the row path exactly: that path
 	// scans rows outermost and fails at the FIRST bad row (reporting the
 	// first failing component's signature for it), so track the minimum
@@ -243,7 +265,7 @@ func (tr *Transformed) histogram(d *dataset.Table) ([]float64, error) {
 			masks[i] = 0
 		}
 		for bi, pi := range c.predIdx {
-			k.preds[pi].EvalInto(d, sel)
+			sel := get(pi, scratch)
 			bit := uint64(1) << uint(bi)
 			for wi, w := range sel.Words() {
 				base := wi << 6
@@ -324,15 +346,26 @@ func (tr *Transformed) TrueAnswers(d *dataset.Table) []float64 {
 
 // trueAnswers is the uncached evaluation behind TrueAnswers.
 func (tr *Transformed) trueAnswers(d *dataset.Table) []float64 {
+	return tr.trueAnswersWith(d, nil)
+}
+
+// trueAnswersWith is trueAnswers with an optional predicate-bitmap
+// source; nil evaluates each predicate in place (the unbatched path).
+func (tr *Transformed) trueAnswersWith(d *dataset.Table, get predSource) []float64 {
 	k := tr.kernels()
 	if k.err != nil {
 		return tr.TrueAnswersRows(d)
 	}
+	if get == nil {
+		get = func(pi int, scratch *dataset.Bitmap) *dataset.Bitmap {
+			k.preds[pi].EvalInto(d, scratch)
+			return scratch
+		}
+	}
 	out := make([]float64, len(tr.preds))
-	sel := dataset.NewBitmap(d.Size())
-	for j, cp := range k.preds {
-		cp.EvalInto(d, sel)
-		out[j] = float64(sel.Count())
+	scratch := dataset.NewBitmap(d.Size())
+	for j := range k.preds {
+		out[j] = float64(get(j, scratch).Count())
 	}
 	return out
 }
