@@ -75,14 +75,22 @@ func main() {
 		schedWorkers = flag.Int("sched-workers", 0, "batch executors per dataset (0 = scheduler default)")
 		maxBatch     = flag.Int("max-batch", 0, "max queries coalesced into one batched columnar pass (0 = scheduler default)")
 		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint attached to 429 rejections (0 = scheduler default)")
+		mmapThresh   = flag.Int64("mmap-threshold", server.DefaultMmapThreshold,
+			"raw column bytes at/above which a durable dataset is served from its mmap'd column-store segment instead of the heap (0 = always mmap, negative = never)")
+		coldStart = flag.Bool("cold-start", false,
+			"recover datasets strictly from column-store segments: never re-parse source CSV (entries without a valid segment are skipped)")
 	)
 	flag.Var(&datasets, "dataset", "dataset to host as name=data.csv,schema.file (repeatable)")
 	flag.Parse()
 
 	reg := server.NewRegistry()
+	reg.SetStorage(server.StoragePolicy{MmapThreshold: *mmapThresh, ColdStart: *coldStart})
 
 	// Recovery phase 1: the catalog. Datasets persisted by a previous
 	// life come back first so recovered sessions find their tables.
+	// Entries with a valid column-store segment reopen via mmap-or-heap
+	// per the storage policy without touching the source CSV; the logged
+	// source and elapsed time make a CSV re-parse regression visible.
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
@@ -90,16 +98,16 @@ func main() {
 			log.Fatalf("apex-server: %v", err)
 		}
 		reg.AttachStore(st)
-		names, skipped, err := reg.RecoverDatasets()
+		recovered, skipped, err := reg.RecoverDatasets()
 		if err != nil {
 			log.Fatalf("apex-server: recover catalog: %v", err)
 		}
 		for _, s := range skipped {
 			log.Printf("apex-server: catalog entry not recovered: %s", s)
 		}
-		for _, name := range names {
-			t, _ := reg.Get(name)
-			log.Printf("apex-server: dataset %q recovered from catalog: %d rows", name, t.Size())
+		for _, rec := range recovered {
+			log.Printf("apex-server: dataset %q recovered from %s: %d rows, storage=%s, took %s",
+				rec.Name, rec.Source, rec.Rows, rec.Mode, rec.Elapsed.Round(time.Microsecond))
 		}
 	}
 

@@ -1,10 +1,13 @@
-// Example server-client runs an in-process apex-server over a synthetic
-// table and drives it with the Go client: four concurrent analyst
+// Example server-client runs an in-process apex-server over two durable
+// datasets and drives it with the Go client: four concurrent analyst
 // sessions explore the same dataset under independent budgets — their
 // distinct workloads coalesced by the per-dataset scheduler into batched
 // columnar passes — then each audits its own transcript, and the example
-// scrapes /metrics once to print the per-mechanism latency summary the
-// scheduler recorded.
+// scrapes /metrics once to print the per-mechanism latency summary plus
+// the per-dataset storage report. The two datasets straddle the registry's
+// mmap threshold, so the run doubles as a smoke for the storage policy:
+// the small one must serve from the heap, the large one from its mmap'd
+// column-store segment.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -22,25 +26,42 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/server/client"
+	"repro/internal/store"
 )
 
 func main() {
-	// The data owner's side: one registered dataset, a per-session cap.
+	// The data owner's side: a durable registry (temp data dir) with an
+	// mmap threshold sitting between the two datasets' column sizes.
 	schema := dataset.MustSchema(
 		dataset.Attribute{Name: "age", Kind: dataset.Continuous, Min: 0, Max: 100},
 	)
-	rng := rand.New(rand.NewSource(42))
-	var csv strings.Builder
-	csv.WriteString("age\n")
-	for i := 0; i < 1000; i++ {
-		fmt.Fprintf(&csv, "%d\n", rng.Intn(100))
+	dataDir, err := os.MkdirTemp("", "apex-example-")
+	if err != nil {
+		log.Fatal(err)
 	}
-	table, err := dataset.ReadCSV(strings.NewReader(csv.String()), schema)
+	defer os.RemoveAll(dataDir)
+	st, err := store.Open(dataDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	reg := server.NewRegistry()
-	if err := reg.Add("people", table); err != nil {
+	reg.AttachStore(st)
+	reg.SetStorage(server.StoragePolicy{MmapThreshold: 64 << 10}) // 64 KiB: "people" stays heap, "archive" maps
+
+	rng := rand.New(rand.NewSource(42))
+	makeCSV := func(rows int) string {
+		var csv strings.Builder
+		csv.WriteString("age\n")
+		for i := 0; i < rows; i++ {
+			fmt.Fprintf(&csv, "%d\n", rng.Intn(100))
+		}
+		return csv.String()
+	}
+	// ~1k rows ≈ 8 KiB of columns (heap); ~50k rows ≈ 450 KiB (mmap).
+	if _, err := reg.AddCSV("people", schema, []byte(makeCSV(1000))); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.AddCSV("archive", schema, []byte(makeCSV(50_000))); err != nil {
 		log.Fatal(err)
 	}
 	ts := httptest.NewServer(server.New(reg, server.Config{MaxBudget: 2, AllowSeeds: true}).Handler())
@@ -90,8 +111,21 @@ func main() {
 	}
 	wg.Wait()
 
+	// One query against the mmap-backed dataset so its scan faults real
+	// column pages in before the storage report reads the gauges.
+	c := client.New(ts.URL)
+	sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "archive", Budget: 1.0, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Query(sess.ID,
+		"BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 200 CONFIDENCE 0.95;"); err != nil {
+		log.Fatal(err)
+	}
+
 	// One /metrics scrape: summarize the per-mechanism latency histograms
-	// the scheduler recorded for the whole run.
+	// the scheduler recorded for the whole run, then the storage report —
+	// which dataset lives where, and how much of each is resident.
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
 		log.Fatal(err)
@@ -105,6 +139,65 @@ func main() {
 	for _, l := range mechanismLatencySummary(string(body)) {
 		fmt.Println("  " + l)
 	}
+	fmt.Println("\ndataset storage (from /metrics):")
+	for _, l := range storageSummary(string(body)) {
+		fmt.Println("  " + l)
+	}
+}
+
+// storageSummary reduces the apex_dataset_* gauges to one line per
+// dataset: "name: mode, data N KiB, resident M KiB". The mode comes from
+// apex_dataset_storage_mode{dataset=...,mode=...} 1.
+func storageSummary(metrics string) []string {
+	modes := map[string]string{}
+	data := map[string]float64{}
+	resident := map[string]float64{}
+	labelValue := func(labels, key string) string {
+		parts := strings.SplitN(labels, key+`="`, 2)
+		if len(parts) < 2 {
+			return ""
+		}
+		return strings.SplitN(parts[1], `"`, 2)[0]
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			continue
+		}
+		labels, val, ok := strings.Cut(rest, "} ")
+		if !ok {
+			continue
+		}
+		ds := labelValue(labels, "dataset")
+		if ds == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "apex_dataset_storage_mode":
+			if v == 1 {
+				modes[ds] = labelValue(labels, "mode")
+			}
+		case "apex_dataset_data_bytes":
+			data[ds] = v
+		case "apex_dataset_resident_bytes":
+			resident[ds] = v
+		}
+	}
+	var names []string
+	for ds := range modes {
+		names = append(names, ds)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, ds := range names {
+		out = append(out, fmt.Sprintf("%-8s %-4s  data %6.0f KiB, resident %6.0f KiB",
+			ds, modes[ds], data[ds]/1024, resident[ds]/1024))
+	}
+	return out
 }
 
 // mechanismLatencySummary reduces the apex_mechanism_latency_seconds

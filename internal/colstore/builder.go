@@ -1,0 +1,528 @@
+package colstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+)
+
+// Builder streams rows into a segment file with bounded memory: the big
+// per-row regions (codes, values) spill to temp files next to the output
+// as they arrive, while only the small state — dictionaries, missing
+// bitmaps (1 bit per row) and the rare misfit cells — stays in memory.
+// Finish assembles the final segment in one sequential pass over the
+// spills and fsyncs it; a 10M-row ingest never materializes a table.
+//
+// The builder writes directly at the given path and the file is complete
+// only after Finish returns nil; callers wanting atomicity build inside a
+// temp directory (the store's dataset transaction) or write to a temp
+// name and rename.
+type Builder struct {
+	schema  *dataset.Schema
+	path    string
+	spill   string // temp dir holding per-column spill files
+	rows    int
+	cols    []*colBuilder
+	misfits []dataset.MisfitCell
+	err     error // first failure; poisons Append and Finish
+}
+
+type colBuilder struct {
+	kind dataset.AttrKind
+	f    *os.File
+	w    *bufio.Writer
+
+	// Categorical state: the dictionary, seeded with the public domain
+	// exactly like dataset.NewTable so codes match heap-built tables.
+	dict  []string
+	index map[string]int32
+
+	// Continuous state: the missing bitmap words.
+	missing []uint64
+}
+
+// NewBuilder opens a builder that will write the segment at path. The
+// spill directory is created next to the output so the final copy stays
+// on one filesystem.
+func NewBuilder(path string, schema *dataset.Schema) (*Builder, error) {
+	spill, err := os.MkdirTemp(filepath.Dir(path), ".colstore-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIO, err)
+	}
+	b := &Builder{schema: schema, path: path, spill: spill}
+	for pos := 0; pos < schema.Arity(); pos++ {
+		a := schema.Attr(pos)
+		f, err := os.OpenFile(filepath.Join(spill, fmt.Sprintf("col%d", pos)), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Abort()
+			return nil, fmt.Errorf("%w: %v", ErrIO, err)
+		}
+		cb := &colBuilder{kind: a.Kind, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+		if a.Kind == dataset.Categorical {
+			cb.index = make(map[string]int32, len(a.Values))
+			for _, v := range a.Values {
+				cb.code(v)
+			}
+		}
+		b.cols = append(b.cols, cb)
+	}
+	return b, nil
+}
+
+func (c *colBuilder) code(v string) int32 {
+	if id, ok := c.index[v]; ok {
+		return id
+	}
+	id := int32(len(c.dict))
+	c.dict = append(c.dict, v)
+	c.index[v] = id
+	return id
+}
+
+// sentinel codes, matching dataset's internal encoding.
+const (
+	nullCode   int32 = -1
+	misfitCode int32 = -2
+)
+
+// Append adds one row. The tuple may be reused by the caller after the
+// call returns (StreamCSV's contract). Cell semantics match
+// dataset.Table.Append exactly, misfit cells included, so a segment built
+// from the same rows reopens as an equivalent table.
+func (b *Builder) Append(row dataset.Tuple) error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(row) != b.schema.Arity() {
+		return fmt.Errorf("colstore: tuple arity %d, schema arity %d", len(row), b.schema.Arity())
+	}
+	var scratch [8]byte
+	for pos, v := range row {
+		c := b.cols[pos]
+		if c.kind == dataset.Categorical {
+			code := nullCode
+			if s, ok := v.AsStr(); ok {
+				code = c.code(s)
+			} else if !v.IsNull() {
+				code = misfitCode
+				b.misfits = append(b.misfits, dataset.MisfitCell{Row: b.rows, Pos: pos, Value: v})
+			}
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(code))
+			if _, err := c.w.Write(scratch[:4]); err != nil {
+				return b.fail(err)
+			}
+			continue
+		}
+		val, missing := 0.0, true
+		if n, ok := v.AsNum(); ok {
+			val, missing = n, false
+		} else if !v.IsNull() {
+			b.misfits = append(b.misfits, dataset.MisfitCell{Row: b.rows, Pos: pos, Value: v})
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(val))
+		if _, err := c.w.Write(scratch[:8]); err != nil {
+			return b.fail(err)
+		}
+		if b.rows&63 == 0 {
+			c.missing = append(c.missing, 0)
+		}
+		if missing {
+			c.missing[len(c.missing)-1] |= 1 << (uint(b.rows) & 63)
+		}
+	}
+	b.rows++
+	return nil
+}
+
+func (b *Builder) fail(err error) error {
+	if b.err == nil {
+		b.err = fmt.Errorf("%w: %v", ErrIO, err)
+	}
+	return b.err
+}
+
+// Rows returns the number of rows appended so far.
+func (b *Builder) Rows() int { return b.rows }
+
+// BuildResult summarizes a finished segment.
+type BuildResult struct {
+	Rows int
+	// DataBytes is the raw column payload (codes + values + bitmaps +
+	// dictionaries), the size the mmap threshold policy compares against.
+	DataBytes int64
+	// FileBytes is the full segment size including header, page padding
+	// and directory.
+	FileBytes int64
+}
+
+// Finish assembles the segment from the spills, fsyncs it and removes the
+// spill directory. The builder is spent afterwards.
+func (b *Builder) Finish() (*BuildResult, error) {
+	if b.err != nil {
+		b.Abort()
+		return nil, b.err
+	}
+	defer b.Abort() // releases spills; the output only on failure
+	for _, c := range b.cols {
+		if err := c.w.Flush(); err != nil {
+			return nil, b.fail(err)
+		}
+		if err := c.f.Close(); err != nil {
+			return nil, b.fail(err)
+		}
+		c.f = nil
+	}
+
+	out, err := os.OpenFile(b.path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, b.fail(err)
+	}
+	sw := newSegWriter(out)
+	res, err := writeSegment(sw, b.schema, b.rows, func(pos int) (columnSource, error) {
+		c := b.cols[pos]
+		f, err := os.Open(filepath.Join(b.spill, fmt.Sprintf("col%d", pos)))
+		if err != nil {
+			return columnSource{}, err
+		}
+		src := columnSource{kind: c.kind, stream: f}
+		if c.kind == dataset.Categorical {
+			src.dict = c.dict
+		} else {
+			src.missing = c.missing
+		}
+		return src, nil
+	}, b.misfits)
+	if err != nil {
+		out.Close()
+		os.Remove(b.path)
+		return nil, b.fail(err)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(b.path)
+		return nil, b.fail(err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(b.path)
+		return nil, b.fail(err)
+	}
+	b.err = fmt.Errorf("colstore: builder already finished")
+	return res, nil
+}
+
+// Abort discards the spills. Safe to call more than once and after
+// Finish (where it is a no-op for the completed output).
+func (b *Builder) Abort() {
+	for _, c := range b.cols {
+		if c.f != nil {
+			c.f.Close()
+			c.f = nil
+		}
+	}
+	if b.spill != "" {
+		os.RemoveAll(b.spill)
+		b.spill = ""
+	}
+}
+
+// BuildCSV streams CSV (ReadCSV semantics) straight into a segment at
+// path with bounded memory — the disk-backed counterpart of ReadCSV.
+// Malformed CSV surfaces as the dataset package's parse error (bad
+// input); disk trouble wraps ErrIO.
+func BuildCSV(path string, schema *dataset.Schema, r io.Reader) (*BuildResult, error) {
+	b, err := NewBuilder(path, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := dataset.StreamCSV(r, schema, b.Append); err != nil {
+		b.Abort()
+		// A poisoned builder means the failure was ours (spill write),
+		// not the caller's CSV.
+		if b.err != nil {
+			return nil, b.err
+		}
+		return nil, err
+	}
+	return b.Finish()
+}
+
+// WriteTable serializes an existing in-memory table to a segment at path
+// (one sequential write straight from the table's column slices; no
+// spills). Used to serialize programmatically built tables and to rebuild
+// a quarantined segment from a recovered CSV parse.
+func WriteTable(path string, t *dataset.Table) (*BuildResult, error) {
+	out, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrIO, err)
+	}
+	sw := newSegWriter(out)
+	res, err := writeSegment(sw, t.Schema(), t.Size(), func(pos int) (columnSource, error) {
+		cd := t.ColumnData(pos)
+		if cd.Kind == dataset.Categorical {
+			return columnSource{kind: cd.Kind, codes: cd.Codes, dict: cd.Dict}, nil
+		}
+		return columnSource{kind: cd.Kind, vals: cd.Vals, missing: cd.MissingWords}, nil
+	}, t.MisfitCells())
+	if err != nil {
+		out.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("%w: %v", ErrIO, err)
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("%w: %v", ErrIO, err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("%w: %v", ErrIO, err)
+	}
+	return res, nil
+}
+
+// columnSource feeds writeSegment one column's payload, either as an
+// in-memory slice (WriteTable) or a spill-file stream (Builder).
+type columnSource struct {
+	kind dataset.AttrKind
+
+	codes  []int32   // categorical, in-memory
+	vals   []float64 // continuous, in-memory
+	stream *os.File  // alternative: raw LE bytes for codes/vals
+
+	dict    []string
+	missing []uint64
+}
+
+// writeSegment lays the file out: header placeholder, page-aligned column
+// regions, misfit blob, directory, then the real header.
+func writeSegment(sw *segWriter, schema *dataset.Schema, rows int, source func(pos int) (columnSource, error), misfits []dataset.MisfitCell) (*BuildResult, error) {
+	if err := sw.writeRaw(make([]byte, headerSize)); err != nil {
+		return nil, err
+	}
+	var dataBytes int64
+	dir := directory{Rows: rows}
+	schemaJSON, err := json.Marshal(schema)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: schema: %w", err)
+	}
+	dir.Schema = schemaJSON
+
+	for pos := 0; pos < schema.Arity(); pos++ {
+		src, err := source(pos)
+		if err != nil {
+			return nil, fmt.Errorf("colstore: column %d: %w", pos, err)
+		}
+		a := schema.Attr(pos)
+		dc := dirColumn{Name: a.Name, Kind: kindString(src.kind)}
+		if err := sw.padTo(pageAlign); err != nil {
+			return nil, err
+		}
+		if src.kind == dataset.Categorical {
+			var r region
+			if src.stream != nil {
+				r, err = sw.copyStream(src.stream, int64(rows)*4)
+				src.stream.Close()
+			} else {
+				r, err = sw.writeInt32s(src.codes)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %d codes: %w", pos, err)
+			}
+			dc.Codes = &r
+			if err := sw.padTo(8); err != nil {
+				return nil, err
+			}
+			dictR, err := sw.writeRegion(encodeDict(src.dict))
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %d dictionary: %w", pos, err)
+			}
+			dc.Dict = &dictR
+			dataBytes += int64(r.Len) + int64(dictR.Len)
+		} else {
+			var r region
+			if src.stream != nil {
+				r, err = sw.copyStream(src.stream, int64(rows)*8)
+				src.stream.Close()
+			} else {
+				r, err = sw.writeFloat64s(src.vals)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %d values: %w", pos, err)
+			}
+			dc.Vals = &r
+			if err := sw.padTo(8); err != nil {
+				return nil, err
+			}
+			words := src.missing
+			if want := (rows + 63) >> 6; len(words) != want {
+				// A zero-row or short bitmap from the builder; normalize.
+				norm := make([]uint64, want)
+				copy(norm, words)
+				words = norm
+			}
+			missR, err := sw.writeUint64s(words)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: column %d missing bitmap: %w", pos, err)
+			}
+			dc.Missing = &missR
+			dataBytes += int64(r.Len) + int64(missR.Len)
+		}
+		dir.Columns = append(dir.Columns, dc)
+	}
+
+	if len(misfits) > 0 {
+		blob, err := encodeMisfits(misfits)
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.padTo(8); err != nil {
+			return nil, err
+		}
+		r, err := sw.writeRegion(blob)
+		if err != nil {
+			return nil, err
+		}
+		dir.Misfits = &r
+		dataBytes += int64(r.Len)
+	}
+
+	dirJSON, err := json.Marshal(&dir)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: directory: %w", err)
+	}
+	if err := sw.padTo(8); err != nil {
+		return nil, err
+	}
+	dirOff := sw.off
+	if err := sw.writeRaw(dirJSON); err != nil {
+		return nil, err
+	}
+	if err := sw.flush(); err != nil {
+		return nil, err
+	}
+
+	h := header{
+		rows:     uint64(rows),
+		cols:     uint32(schema.Arity()),
+		dirOff:   dirOff,
+		dirLen:   uint64(len(dirJSON)),
+		dirCRC:   crc32.Checksum(dirJSON, castagnoli),
+		fileSize: sw.off,
+	}
+	if _, err := sw.f.WriteAt(h.encode(), 0); err != nil {
+		return nil, fmt.Errorf("colstore: header: %w", err)
+	}
+	return &BuildResult{Rows: rows, DataBytes: dataBytes, FileBytes: int64(sw.off)}, nil
+}
+
+// segWriter tracks the write offset and computes per-region CRCs.
+type segWriter struct {
+	f   *os.File
+	w   *bufio.Writer
+	off uint64
+}
+
+func newSegWriter(f *os.File) *segWriter {
+	return &segWriter{f: f, w: bufio.NewWriterSize(f, 1<<20)}
+}
+
+func (sw *segWriter) writeRaw(b []byte) error {
+	n, err := sw.w.Write(b)
+	sw.off += uint64(n)
+	return err
+}
+
+func (sw *segWriter) padTo(align uint64) error {
+	if rem := sw.off % align; rem != 0 {
+		return sw.writeRaw(make([]byte, align-rem))
+	}
+	return nil
+}
+
+// writeRegion writes b as one checksummed region.
+func (sw *segWriter) writeRegion(b []byte) (region, error) {
+	r := region{Off: sw.off, Len: uint64(len(b)), CRC: crc32.Checksum(b, castagnoli)}
+	return r, sw.writeRaw(b)
+}
+
+// copyStream copies a spill file (already little-endian bytes) into the
+// segment, checksumming on the way through a bounded buffer.
+func (sw *segWriter) copyStream(f *os.File, wantLen int64) (region, error) {
+	r := region{Off: sw.off}
+	crc := crc32.New(castagnoli)
+	buf := make([]byte, 1<<20)
+	var n int64
+	for {
+		k, err := f.Read(buf)
+		if k > 0 {
+			crc.Write(buf[:k])
+			if werr := sw.writeRaw(buf[:k]); werr != nil {
+				return r, werr
+			}
+			n += int64(k)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return r, err
+		}
+	}
+	if n != wantLen {
+		return r, fmt.Errorf("spill holds %d bytes, want %d", n, wantLen)
+	}
+	r.Len = uint64(n)
+	r.CRC = crc.Sum32()
+	return r, nil
+}
+
+func (sw *segWriter) writeInt32s(v []int32) (region, error) {
+	if hostLittleEndian {
+		return sw.writeRegion(bytesOfInt32s(v))
+	}
+	return sw.writeEncoded(len(v)*4, func(b []byte) {
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(x))
+		}
+	})
+}
+
+func (sw *segWriter) writeFloat64s(v []float64) (region, error) {
+	if hostLittleEndian {
+		return sw.writeRegion(bytesOfFloat64s(v))
+	}
+	return sw.writeEncoded(len(v)*8, func(b []byte) {
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+		}
+	})
+}
+
+func (sw *segWriter) writeUint64s(v []uint64) (region, error) {
+	if hostLittleEndian {
+		return sw.writeRegion(bytesOfUint64s(v))
+	}
+	return sw.writeEncoded(len(v)*8, func(b []byte) {
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(b[i*8:], x)
+		}
+	})
+}
+
+// writeEncoded is the big-endian-host fallback: encode into a scratch
+// buffer, then write as one region.
+func (sw *segWriter) writeEncoded(n int, fill func([]byte)) (region, error) {
+	b := make([]byte, n)
+	fill(b)
+	return sw.writeRegion(b)
+}
+
+func (sw *segWriter) flush() error { return sw.w.Flush() }

@@ -1,0 +1,370 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+)
+
+// Segment is one opened, mmap'd column-store file. Its Table serves the
+// full dataset.Table interface over the mapping: predicate kernels and
+// workload scans read the mapped pages directly, so the process's
+// resident set is only what the page cache keeps warm, not the dataset.
+//
+// A Segment must stay open for as long as its Table is referenced
+// anywhere — Close unmaps the column slices out from under it. The server
+// registry owns segments for the process lifetime, matching its
+// "datasets are immutable and never dropped" contract.
+type Segment struct {
+	path      string
+	f         *os.File
+	data      []byte // the whole-file mapping (heap buffer on no-mmap platforms)
+	mapped    bool
+	table     *dataset.Table
+	rows      int
+	dataBytes int64
+	advised   atomic.Bool
+}
+
+// Open verifies and maps the segment at path and rebuilds its table with
+// zero-copy column views. Every checksum (header, directory, each column
+// page, dictionaries, misfit table) is verified first via a sequential
+// bounded-buffer read of the file — not through the mapping, so
+// validation leaves the resident set alone. Corruption anywhere fails
+// with ErrCorrupt.
+func Open(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	seg, err := open(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return seg, nil
+}
+
+func open(f *os.File, path string) (*Segment, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	size := st.Size()
+	hb := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	h, err := decodeHeader(hb)
+	if err != nil {
+		return nil, err
+	}
+	if h.fileSize != uint64(size) {
+		return nil, fmt.Errorf("%w: header says %d bytes, file has %d", ErrCorrupt, h.fileSize, size)
+	}
+	if h.dirOff < headerSize || h.dirOff+h.dirLen > uint64(size) || h.dirLen > 1<<30 {
+		return nil, fmt.Errorf("%w: directory out of bounds", ErrCorrupt)
+	}
+
+	dirJSON := make([]byte, h.dirLen)
+	if _, err := f.ReadAt(dirJSON, int64(h.dirOff)); err != nil {
+		return nil, fmt.Errorf("%w: directory: %v", ErrCorrupt, err)
+	}
+	if got := crc32.Checksum(dirJSON, castagnoli); got != h.dirCRC {
+		return nil, fmt.Errorf("%w: directory checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, h.dirCRC)
+	}
+	var dir directory
+	if err := json.Unmarshal(dirJSON, &dir); err != nil {
+		return nil, fmt.Errorf("%w: directory: %v", ErrCorrupt, err)
+	}
+	schema := new(dataset.Schema)
+	if err := json.Unmarshal(dir.Schema, schema); err != nil {
+		return nil, fmt.Errorf("%w: schema: %v", ErrCorrupt, err)
+	}
+	rows := dir.Rows
+	if rows < 0 || uint64(rows) != h.rows {
+		return nil, fmt.Errorf("%w: row count mismatch (directory %d, header %d)", ErrCorrupt, rows, h.rows)
+	}
+	if len(dir.Columns) != schema.Arity() || uint32(len(dir.Columns)) != h.cols {
+		return nil, fmt.Errorf("%w: column count mismatch", ErrCorrupt)
+	}
+
+	// Structural validation of every region, then one sequential checksum
+	// pass in file order.
+	words := (rows + 63) >> 6
+	var regions []region
+	var dataBytes int64
+	checkRegion := func(r *region, what string, wantLen int64, align uint64) error {
+		if r == nil {
+			return fmt.Errorf("%w: missing %s region", ErrCorrupt, what)
+		}
+		if wantLen >= 0 && int64(r.Len) != wantLen {
+			return fmt.Errorf("%w: %s region holds %d bytes, want %d", ErrCorrupt, what, r.Len, wantLen)
+		}
+		// Bounds via subtraction, not Off+Len: a directory declaring a
+		// near-2^64 length must fail here, not wrap around and slice-panic
+		// later (the structural check is what keeps checksum-valid-but-
+		// hostile inputs from indexing out of bounds).
+		if r.Off < headerSize || r.Off%align != 0 || r.Off > h.dirOff || r.Len > h.dirOff-r.Off {
+			return fmt.Errorf("%w: %s region out of bounds", ErrCorrupt, what)
+		}
+		regions = append(regions, *r)
+		dataBytes += int64(r.Len)
+		return nil
+	}
+	for pos, dc := range dir.Columns {
+		a := schema.Attr(pos)
+		if dc.Name != a.Name || dc.Kind != kindString(a.Kind) {
+			return nil, fmt.Errorf("%w: column %d is %s %q, schema wants %s %q",
+				ErrCorrupt, pos, dc.Kind, dc.Name, kindString(a.Kind), a.Name)
+		}
+		if a.Kind == dataset.Categorical {
+			if err := checkRegion(dc.Codes, "codes", int64(rows)*4, 8); err != nil {
+				return nil, err
+			}
+			if err := checkRegion(dc.Dict, "dictionary", -1, 8); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := checkRegion(dc.Vals, "values", int64(rows)*8, 8); err != nil {
+				return nil, err
+			}
+			if err := checkRegion(dc.Missing, "missing bitmap", int64(words)*8, 8); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if dir.Misfits != nil {
+		if err := checkRegion(dir.Misfits, "misfit table", -1, 8); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, 1<<20)
+	for _, r := range regions {
+		if err := verifyRegion(f, r, buf); err != nil {
+			return nil, err
+		}
+	}
+
+	data, mapped, err := mapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: mmap: %w", err)
+	}
+	seg := &Segment{path: path, f: f, data: data, mapped: mapped, rows: rows, dataBytes: dataBytes}
+	table, err := seg.buildTable(schema, rows, &dir)
+	if err != nil {
+		seg.unmap()
+		return nil, err
+	}
+	table.SetPrefetch(seg.Advise)
+	seg.table = table
+	return seg, nil
+}
+
+// buildTable assembles the zero-copy column views and hands them to
+// dataset.TableFromColumns for structural validation.
+func (s *Segment) buildTable(schema *dataset.Schema, rows int, dir *directory) (*dataset.Table, error) {
+	cols := make([]dataset.ColumnData, len(dir.Columns))
+	for pos, dc := range dir.Columns {
+		if schema.Attr(pos).Kind == dataset.Categorical {
+			dict, err := decodeDict(s.region(*dc.Dict))
+			if err != nil {
+				return nil, fmt.Errorf("column %d: %w", pos, err)
+			}
+			cols[pos] = dataset.ColumnData{
+				Kind:  dataset.Categorical,
+				Codes: viewInt32s(s.region(*dc.Codes)),
+				Dict:  dict,
+			}
+		} else {
+			cols[pos] = dataset.ColumnData{
+				Kind:         dataset.Continuous,
+				Vals:         viewFloat64s(s.region(*dc.Vals)),
+				MissingWords: viewUint64s(s.region(*dc.Missing)),
+			}
+		}
+	}
+	var misfits []dataset.MisfitCell
+	if dir.Misfits != nil {
+		var err error
+		if misfits, err = decodeMisfits(s.region(*dir.Misfits)); err != nil {
+			return nil, err
+		}
+	}
+	t, err := dataset.TableFromColumns(schema, rows, cols, misfits)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return t, nil
+}
+
+func (s *Segment) region(r region) []byte { return s.data[r.Off : r.Off+r.Len] }
+
+// Table returns the mmap-backed table. Valid until Close.
+func (s *Segment) Table() *dataset.Table { return s.table }
+
+// Path returns the segment file path.
+func (s *Segment) Path() string { return s.path }
+
+// Rows returns the row count.
+func (s *Segment) Rows() int { return s.rows }
+
+// DataBytes returns the raw column payload size (the threshold policy's
+// measure of how big the table would be on the heap).
+func (s *Segment) DataBytes() int64 { return s.dataBytes }
+
+// MappedBytes returns the size of the file mapping.
+func (s *Segment) MappedBytes() int64 { return int64(len(s.data)) }
+
+// ResidentBytes reports how much of the mapping currently sits in
+// physical memory (mincore; on platforms without it, the whole heap
+// fallback buffer counts as resident).
+func (s *Segment) ResidentBytes() (int64, error) {
+	if !s.mapped {
+		return int64(len(s.data)), nil
+	}
+	return residentBytes(s.data)
+}
+
+// Advise hints the kernel to start faulting the mapping in ahead of a
+// scan (madvise WILLNEED). It is the table's Prefetch hook, called by the
+// scheduler before each batched pass; only the first call after open (or
+// after Release) issues the syscall.
+func (s *Segment) Advise() {
+	if s.advised.CompareAndSwap(false, true) {
+		adviseWillNeed(s.data)
+	}
+}
+
+// Release drops the mapping's resident pages (madvise DONTNEED) — the
+// cold-memory end of the policy lever; pages fault back in on the next
+// scan. The next Advise re-issues its hint.
+func (s *Segment) Release() {
+	adviseDontNeed(s.data)
+	s.advised.Store(false)
+}
+
+// Close unmaps the file. The Table becomes invalid: any later column read
+// faults. Only close a segment whose table can no longer be reached.
+func (s *Segment) Close() error {
+	err := s.unmap()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Segment) unmap() error {
+	if s.data == nil {
+		return nil
+	}
+	var err error
+	if s.mapped {
+		err = unmapFile(s.data)
+	}
+	s.data = nil
+	return err
+}
+
+// Load opens the segment, copies its columns onto the heap and closes the
+// mapping — the below-threshold path of the storage policy, where a small
+// table is cheaper served from RAM than through page faults. The returned
+// table is independent of the file.
+func Load(path string) (*dataset.Table, error) {
+	seg, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer seg.Close()
+	return HeapCopy(seg.Table())
+}
+
+// HeapCopy clones a table's columns onto the heap — the way off a mapping
+// that is about to close (the registry's below-threshold recovery path).
+func HeapCopy(t *dataset.Table) (*dataset.Table, error) {
+	schema := t.Schema()
+	n := t.Size()
+	cols := make([]dataset.ColumnData, schema.Arity())
+	for pos := 0; pos < schema.Arity(); pos++ {
+		cd := t.ColumnData(pos)
+		cols[pos] = dataset.ColumnData{
+			Kind:         cd.Kind,
+			Codes:        append([]int32(nil), cd.Codes...),
+			Dict:         append([]string(nil), cd.Dict...),
+			Vals:         append([]float64(nil), cd.Vals...),
+			MissingWords: append([]uint64(nil), cd.MissingWords...),
+		}
+	}
+	heap, err := dataset.TableFromColumns(schema, n, cols, t.MisfitCells())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return heap, nil
+}
+
+// verifyRegion checksums one region through the caller's reused buffer.
+func verifyRegion(f *os.File, r region, buf []byte) error {
+	crc := crc32.New(castagnoli)
+	off := int64(r.Off)
+	left := int64(r.Len)
+	for left > 0 {
+		n := int64(len(buf))
+		if n > left {
+			n = left
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return fmt.Errorf("%w: read at %d: %v", ErrCorrupt, off, err)
+		}
+		crc.Write(buf[:n])
+		off += n
+		left -= n
+	}
+	if got := crc.Sum32(); got != r.CRC {
+		return fmt.Errorf("%w: page [%d,%d) checksum mismatch (got %08x, want %08x)",
+			ErrCorrupt, r.Off, r.Off+r.Len, got, r.CRC)
+	}
+	return nil
+}
+
+// viewInt32s reinterprets mapped bytes as []int32 on little-endian hosts
+// and decode-copies otherwise (correct everywhere, zero-copy where the
+// representation matches).
+func viewInt32s(b []byte) []int32 {
+	if hostLittleEndian {
+		return int32View(b)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}
+
+func viewFloat64s(b []byte) []float64 {
+	if hostLittleEndian {
+		return float64View(b)
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+func viewUint64s(b []byte) []uint64 {
+	if hostLittleEndian {
+		return uint64View(b)
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}

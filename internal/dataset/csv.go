@@ -39,21 +39,33 @@ func WriteCSV(w io.Writer, t *Table) error {
 // stream straight into the table's columnar storage through one reused
 // row buffer, so import allocates no per-row tuples.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	tab := NewTable(schema)
+	if err := StreamCSV(r, schema, tab.Append); err != nil {
+		return nil, err
+	}
+	return tab, nil
+}
+
+// StreamCSV parses CSV with exactly ReadCSV's semantics (header mapping,
+// empty cells as NULL, float parsing for continuous attributes) but hands
+// each row to fn instead of materializing a table — the ingest path for
+// sinks with bounded memory, like the column-store segment builder. The
+// tuple passed to fn is reused between calls; fn must copy what it keeps.
+func StreamCSV(r io.Reader, schema *Schema, fn func(Tuple) error) error {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: read header: %w", err)
+		return fmt.Errorf("dataset: read header: %w", err)
 	}
 	colToAttr := make([]int, len(header))
 	for c, name := range header {
 		idx, ok := schema.Lookup(name)
 		if !ok {
-			return nil, fmt.Errorf("dataset: CSV column %q not in schema", name)
+			return fmt.Errorf("dataset: CSV column %q not in schema", name)
 		}
 		colToAttr[c] = idx
 	}
-	tab := NewTable(schema)
 	row := make(Tuple, schema.Arity())
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -61,7 +73,7 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+			return fmt.Errorf("dataset: read line %d: %w", line, err)
 		}
 		for i := range row {
 			row[i] = Null
@@ -75,16 +87,16 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 			case attr.Kind == Continuous:
 				f, err := strconv.ParseFloat(cell, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d, column %q: %w", line, attr.Name, err)
+					return fmt.Errorf("dataset: line %d, column %q: %w", line, attr.Name, err)
 				}
 				row[attrIdx] = Num(f)
 			default:
 				row[attrIdx] = Str(cell)
 			}
 		}
-		if err := tab.Append(row); err != nil {
-			return nil, err
+		if err := fn(row); err != nil {
+			return err
 		}
 	}
-	return tab, nil
+	return nil
 }

@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the raw-column boundary between Table and external column
+// storage (internal/colstore): it exports a table's typed columns for
+// serialization and rebuilds a Table over caller-provided column slices —
+// including slices that alias a read-only mmap region — so the compiled
+// predicate kernels and workload scans run unchanged over disk-resident
+// data.
+
+// ColumnData is the raw storage of one attribute, in schema position
+// order. Exactly one of the categorical (Codes/Dict) or continuous
+// (Vals/MissingWords) halves is populated, matching Kind. All slices must
+// be treated as read-only: for tables built by TableFromColumns they may
+// alias a read-only file mapping, where a write faults.
+type ColumnData struct {
+	Kind AttrKind
+
+	// Categorical: one dictionary code per row. Codes >= 0 index Dict;
+	// the sentinels (NULL, misfit) match the table's internal encoding.
+	Codes []int32
+	Dict  []string
+
+	// Continuous: one float64 per row plus the missing bitmap (64 rows
+	// per word, row i at word i/64 bit i%64; tail bits zero). A set bit
+	// means the cell holds no number (NULL, or a misfit cell).
+	Vals         []float64
+	MissingWords []uint64
+}
+
+// MisfitCell is one kind-mismatched cell of the side table: the exact
+// Value stored at (Row, Pos). Misfits only arise from programmatic
+// Append; CSV ingest never produces them.
+type MisfitCell struct {
+	Row, Pos int
+	Value    Value
+}
+
+// ColumnData returns the raw storage of the attribute at schema position
+// pos. The returned slices are views into the table — read-only.
+func (t *Table) ColumnData(pos int) ColumnData {
+	if c := t.cats[pos]; c != nil {
+		return ColumnData{Kind: Categorical, Codes: c.codes, Dict: c.dict}
+	}
+	c := t.nums[pos]
+	return ColumnData{Kind: Continuous, Vals: c.vals, MissingWords: c.missing.words}
+}
+
+// MisfitCells returns every kind-mismatched cell, ordered by row then
+// schema position. Empty for every table built from CSV.
+func (t *Table) MisfitCells() []MisfitCell {
+	var out []MisfitCell
+	for _, row := range t.misfitRows {
+		for pos := range t.misfits {
+			if m := t.misfits[pos]; m != nil {
+				if v, ok := m[row]; ok {
+					out = append(out, MisfitCell{Row: row, Pos: pos, Value: v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TableFromColumns builds a table directly over the given column slices,
+// which must be in schema position order and sized to n rows. The table
+// takes the slices as-is — zero-copy — so they may alias an mmap'd
+// segment; the table is sealed: Append returns an error rather than
+// growing (and possibly reallocating away from) the mapped storage.
+//
+// The columns are validated structurally (arity, kinds, lengths, code
+// bounds, unique dictionary entries, misfit consistency) so that a
+// corrupted-but-checksum-valid input cannot index out of bounds later.
+func TableFromColumns(schema *Schema, n int, cols []ColumnData, misfits []MisfitCell) (*Table, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("dataset: negative row count %d", n)
+	}
+	if len(cols) != schema.Arity() {
+		return nil, fmt.Errorf("dataset: %d columns for schema arity %d", len(cols), schema.Arity())
+	}
+	t := &Table{
+		schema:  schema,
+		n:       n,
+		sealed:  true,
+		cats:    make([]*catColumn, schema.Arity()),
+		nums:    make([]*numColumn, schema.Arity()),
+		misfits: make([]map[int]Value, schema.Arity()),
+	}
+	words := (n + 63) >> 6
+	for pos, a := range schema.attrs {
+		col := cols[pos]
+		if col.Kind != a.Kind {
+			return nil, fmt.Errorf("dataset: column %d kind %v, schema wants %v", pos, col.Kind, a.Kind)
+		}
+		if a.Kind == Categorical {
+			if len(col.Codes) != n {
+				return nil, fmt.Errorf("dataset: column %d has %d codes for %d rows", pos, len(col.Codes), n)
+			}
+			c := &catColumn{codes: col.Codes, dict: col.Dict, index: make(map[string]int32, len(col.Dict))}
+			for id, s := range col.Dict {
+				if _, dup := c.index[s]; dup {
+					return nil, fmt.Errorf("dataset: column %d dictionary has duplicate entry %q", pos, s)
+				}
+				c.index[s] = int32(id)
+			}
+			max := int32(len(col.Dict))
+			for i, code := range col.Codes {
+				if code >= max || code < misfitCode {
+					return nil, fmt.Errorf("dataset: column %d row %d code %d out of range [%d,%d)", pos, i, code, misfitCode, max)
+				}
+			}
+			t.cats[pos] = c
+			continue
+		}
+		if len(col.Vals) != n {
+			return nil, fmt.Errorf("dataset: column %d has %d values for %d rows", pos, len(col.Vals), n)
+		}
+		if len(col.MissingWords) != words {
+			return nil, fmt.Errorf("dataset: column %d missing bitmap has %d words, want %d", pos, len(col.MissingWords), words)
+		}
+		t.nums[pos] = &numColumn{
+			vals:    col.Vals,
+			missing: Bitmap{n: n, words: col.MissingWords},
+		}
+	}
+	rowSet := make(map[int]bool, len(misfits))
+	for _, m := range misfits {
+		if m.Row < 0 || m.Row >= n || m.Pos < 0 || m.Pos >= schema.Arity() {
+			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) out of range", m.Row, m.Pos)
+		}
+		if c := t.cats[m.Pos]; c != nil && c.codes[m.Row] != misfitCode {
+			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) but code is %d", m.Row, m.Pos, c.codes[m.Row])
+		}
+		if c := t.nums[m.Pos]; c != nil && !c.missing.Get(m.Row) {
+			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) but missing bit is clear", m.Row, m.Pos)
+		}
+		if t.misfits[m.Pos] == nil {
+			t.misfits[m.Pos] = make(map[int]Value)
+		}
+		t.misfits[m.Pos][m.Row] = m.Value
+		rowSet[m.Row] = true
+	}
+	// Every misfitCode cell must have its side-table entry, or Row(i)
+	// would index a nil map.
+	for pos, c := range t.cats {
+		if c == nil {
+			continue
+		}
+		for i, code := range c.codes {
+			if code == misfitCode {
+				if t.misfits[pos] == nil || !rowSet[i] {
+					return nil, fmt.Errorf("dataset: column %d row %d marked misfit without a side-table entry", pos, i)
+				}
+				if _, ok := t.misfits[pos][i]; !ok {
+					return nil, fmt.Errorf("dataset: column %d row %d marked misfit without a side-table entry", pos, i)
+				}
+			}
+		}
+	}
+	t.misfitRows = make([]int, 0, len(rowSet))
+	for row := range rowSet {
+		t.misfitRows = append(t.misfitRows, row)
+	}
+	sort.Ints(t.misfitRows)
+	return t, nil
+}
+
+// Sealed reports whether the table rejects Append (tables built over
+// external column storage by TableFromColumns).
+func (t *Table) Sealed() bool { return t.sealed }
+
+// SetPrefetch installs the storage-layer warmup hook Prefetch invokes.
+// The column store uses it to advise the kernel that a batched scan over
+// an mmap-backed table is imminent; heap-backed tables leave it unset.
+func (t *Table) SetPrefetch(f func()) { t.prefetch = f }
+
+// Prefetch invokes the storage warmup hook, if any. Safe to call from
+// any goroutine and cheap enough to call once per scheduler batch.
+func (t *Table) Prefetch() {
+	if t.prefetch != nil {
+		t.prefetch()
+	}
+}

@@ -28,6 +28,13 @@ type Table struct {
 
 	misfits    []map[int]Value // by attribute position, nil until needed
 	misfitRows []int           // sorted unique rows with any misfit cell
+
+	// sealed marks a table whose columns alias external (possibly
+	// read-only mmap'd) storage; Append must not grow or mutate them.
+	sealed bool
+	// prefetch, when set, is the storage-layer warmup hook (see
+	// SetPrefetch in raw.go).
+	prefetch func()
 }
 
 // NewTable returns an empty table over the schema.
@@ -91,6 +98,9 @@ func (t *Table) value(pos, i int) Value {
 // Append adds a tuple; it must have the schema's arity. The cells are
 // copied into the table's columns, so the caller may reuse the tuple.
 func (t *Table) Append(row Tuple) error {
+	if t.sealed {
+		return fmt.Errorf("dataset: table is sealed (columns alias external storage)")
+	}
 	if len(row) != t.schema.Arity() {
 		return fmt.Errorf("dataset: tuple arity %d, schema arity %d", len(row), t.schema.Arity())
 	}

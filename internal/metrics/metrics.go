@@ -36,6 +36,9 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 	order    []string // registration order for stable output
+
+	cmu        sync.Mutex
+	collectors []func()
 }
 
 type family struct {
@@ -196,8 +199,25 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
+// OnScrape registers a collector invoked at the start of every Render —
+// the hook for gauges whose truth lives elsewhere (resident-set sizes,
+// page-fault counts) and is only worth computing when someone scrapes.
+// Collectors run outside the registry lock and update series normally.
+func (r *Registry) OnScrape(f func()) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	r.collectors = append(r.collectors, f)
+}
+
 // Render writes every family in the Prometheus text exposition format.
 func (r *Registry) Render() string {
+	r.cmu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.cmu.Unlock()
+	for _, f := range collectors {
+		f()
+	}
+
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	fams := make([]*family, len(names))

@@ -478,8 +478,11 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 	// Phase 2: one grouped, deduplicated columnar pass warms every
 	// plan's noise-free evaluations. All engines of a dataset share one
 	// transformation cache and one table; group defensively anyway so a
-	// mixed batch can never warm through the wrong cache.
+	// mixed batch can never warm through the wrong cache. Prefetch first:
+	// an mmap-backed table tells the kernel to start faulting its column
+	// pages in before the scan reads them (a no-op for heap tables).
 	for c, g := range groups {
+		g.table.Prefetch()
 		c.EvaluateBatch(g.table, g.items)
 	}
 

@@ -1,0 +1,16 @@
+//go:build linux
+
+package server
+
+import "syscall"
+
+// pageFaults returns the process's minor and major fault counts from
+// getrusage — the "did that scan hit the page cache or the disk" signal
+// for mmap-backed datasets.
+func pageFaults() (minor, major int64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	return ru.Minflt, ru.Majflt
+}

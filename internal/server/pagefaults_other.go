@@ -1,0 +1,6 @@
+//go:build !linux
+
+package server
+
+// pageFaults is unavailable off Linux; the gauges read zero.
+func pageFaults() (minor, major int64) { return 0, 0 }

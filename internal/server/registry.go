@@ -12,16 +12,29 @@
 // workload transformation and one noise-free Histogram/TrueAnswers scan
 // per distinct workload, with noise still drawn per session by the
 // mechanisms — cached noise-free values never leave the server.
+//
+// Durable datasets are additionally backed by the column store
+// (internal/colstore): ingest streams the CSV into a checksummed segment
+// file next to schema.json, and the storage policy decides per dataset
+// whether the serving table lives on the heap (small tables) or is the
+// segment mmap'd read-only (large ones) — queries run the same columnar
+// kernels either way, and recovery opens the segment instead of
+// re-parsing the source CSV.
 package server
 
 import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/colstore"
 	"repro/internal/dataset"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -35,13 +48,72 @@ var ErrDuplicateDataset = errors.New("server: dataset already registered")
 // to a 5xx, distinct from the analyst/owner input errors.
 var ErrStoreFailed = errors.New("server: dataset persistence failed")
 
+// StorageMode says where a registered dataset's serving table lives.
+type StorageMode int
+
+const (
+	// StorageHeap: the columns are ordinary Go slices in process memory.
+	StorageHeap StorageMode = iota
+	// StorageMmap: the columns alias a read-only mapping of the dataset's
+	// column-store segment; the page cache is the working set.
+	StorageMmap
+)
+
+// String implements fmt.Stringer ("heap" / "mmap").
+func (m StorageMode) String() string {
+	if m == StorageMmap {
+		return "mmap"
+	}
+	return "heap"
+}
+
+// DefaultMmapThreshold is the raw-column-bytes size at which a durable
+// dataset switches from heap to mmap serving when the owner sets no
+// explicit policy: 64 MiB keeps small exploratory tables in RAM and maps
+// everything that would meaningfully compete with the OS page cache.
+const DefaultMmapThreshold int64 = 64 << 20
+
+// StoragePolicy is the owner's resident-memory policy for durable
+// datasets.
+type StoragePolicy struct {
+	// MmapThreshold is the raw column payload size (bytes) at or above
+	// which a dataset is served from its mmap'd segment. 0 maps every
+	// durable dataset; a negative value disables mmap entirely (heap
+	// always).
+	MmapThreshold int64
+	// ColdStart restricts recovery to column-store segments: a catalog
+	// entry without a valid segment is skipped instead of re-parsed from
+	// CSV. It proves (and enforces) that restart cost is independent of
+	// dataset size — the recoverysmoke runs the server this way with the
+	// source CSV deleted.
+	ColdStart bool
+}
+
 // Dataset is one registered table plus the evaluation cache every session
-// over it shares.
+// over it shares, and the storage bookkeeping behind /metrics.
 type Dataset struct {
 	Table *dataset.Table
 	// Transforms caches workload transformations and their noise-free
 	// evaluations across all of the dataset's sessions.
 	Transforms *workload.TransformCache
+	// Mode says whether Table's columns live on the heap or alias the
+	// mmap'd segment.
+	Mode StorageMode
+	// Segment is the open column-store segment backing an mmap table
+	// (nil for heap tables). It stays open for the process lifetime:
+	// closing it would unmap the columns under live sessions.
+	Segment *colstore.Segment
+}
+
+// DatasetRecovery describes how one catalog entry came back at startup —
+// in particular whether the rows were served from the segment (cheap) or
+// re-parsed from CSV (the legacy path), and how long that took.
+type DatasetRecovery struct {
+	Name    string
+	Source  string // "segment" or "csv (...)" with the fallback reason
+	Mode    StorageMode
+	Rows    int
+	Elapsed time.Duration
 }
 
 // Registry is the thread-safe catalog of named sensitive tables the server
@@ -51,34 +123,69 @@ type Registry struct {
 	mu     sync.RWMutex
 	tables map[string]*Dataset
 	store  *store.Store // nil: registrations are memory-only
+	policy StoragePolicy
 
-	// ingestMu serializes AddCSV end to end so the durable save (whole-
-	// CSV writes plus fsyncs) runs outside r.mu — registrations are rare
-	// and may be slow, and they must not stall concurrent reads.
+	// ingestMu serializes AddCSV end to end so the durable save (segment
+	// build plus fsyncs) runs outside r.mu — registrations are rare and
+	// may be slow, and they must not stall concurrent reads.
 	ingestMu sync.Mutex
+
+	// Storage counters for /metrics.
+	segmentOpens       atomic.Int64 // successful segment opens
+	segmentOpenFails   atomic.Int64 // opens that failed validation
+	segmentQuarantines atomic.Int64 // corrupt segments renamed aside
+	csvFallbacks       atomic.Int64 // recoveries that re-parsed CSV
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default storage policy.
 func NewRegistry() *Registry {
-	return &Registry{tables: make(map[string]*Dataset)}
+	return &Registry{
+		tables: make(map[string]*Dataset),
+		policy: StoragePolicy{MmapThreshold: DefaultMmapThreshold},
+	}
 }
 
 // AttachStore makes CSV registrations durable: every AddCSV/LoadFiles
-// from here on persists the schema and rows into the store's catalog
-// before the dataset becomes visible. Attach before serving traffic.
+// from here on persists the schema, rows and column-store segment into
+// the store's catalog before the dataset becomes visible. Attach before
+// serving traffic.
 func (r *Registry) AttachStore(st *store.Store) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.store = st
 }
 
+// SetStorage installs the owner's resident-memory policy. Call before
+// recovery/ingest; it does not re-home already-registered datasets.
+func (r *Registry) SetStorage(p StoragePolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = p
+}
+
+// mmapWanted applies the threshold to a segment's raw column payload.
+func (p StoragePolicy) mmapWanted(dataBytes int64) bool {
+	if p.MmapThreshold < 0 {
+		return false
+	}
+	return dataBytes >= p.MmapThreshold
+}
+
 // RecoverDatasets loads every dataset persisted in the attached store
-// into the registry (without re-persisting). It returns the recovered
-// names plus a description of every catalog entry that could not be
-// served (unreadable files, CSV that no longer parses) — damaged
-// entries are skipped, not fatal, and stay on disk for the operator.
-// This is the first phase of the startup recovery path.
-func (r *Registry) RecoverDatasets() (names, skipped []string, err error) {
+// into the registry (without re-persisting). Entries with a valid
+// column-store segment reopen from it — no CSV re-parse, so restart cost
+// does not scale with row count; a corrupt segment is quarantined
+// (renamed aside, counted in the storage metrics) and the entry falls
+// back to re-parsing the source CSV, after which the segment is rebuilt
+// in place for the next restart. Catalogs predating the column store take
+// the same fallback+rebuild path. With StoragePolicy.ColdStart set the
+// CSV fallback is disabled: an entry without a valid segment is skipped.
+//
+// recovered describes every served entry (source, storage mode, timing);
+// skipped describes every catalog entry that could not be served. Damaged
+// entries are skipped, not fatal, and stay on disk for the operator. This
+// is the first phase of the startup recovery path.
+func (r *Registry) RecoverDatasets() (recovered []DatasetRecovery, skipped []string, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.store == nil {
@@ -88,39 +195,149 @@ func (r *Registry) RecoverDatasets() (names, skipped []string, err error) {
 	if err != nil {
 		return nil, skipped, err
 	}
-	for _, rec := range recs {
-		table, err := dataset.ReadCSV(bytes.NewReader(rec.CSV), rec.Schema)
-		if err != nil {
-			skipped = append(skipped, fmt.Sprintf("%s: %v", rec.Name, err))
-			continue
-		}
+	for i := range recs {
+		rec := &recs[i]
 		if _, dup := r.tables[rec.Name]; dup {
 			skipped = append(skipped, fmt.Sprintf("%s: already registered", rec.Name))
 			continue
 		}
-		r.tables[rec.Name] = &Dataset{
-			Table:      table,
-			Transforms: workload.NewTransformCache(workload.Options{}),
+		start := time.Now()
+		ds, source, rerr := r.openRecord(rec)
+		if rerr != nil {
+			skipped = append(skipped, fmt.Sprintf("%s: %v", rec.Name, rerr))
+			continue
 		}
-		names = append(names, rec.Name)
+		r.tables[rec.Name] = ds
+		recovered = append(recovered, DatasetRecovery{
+			Name:    rec.Name,
+			Source:  source,
+			Mode:    ds.Mode,
+			Rows:    ds.Table.Size(),
+			Elapsed: time.Since(start),
+		})
 	}
-	return names, skipped, nil
+	return recovered, skipped, nil
 }
 
-// AddCSV parses and registers a dataset from its source CSV, persisting
-// both schema and rows to the attached store first — the registration is
-// visible only once it is durable. This is the canonical ingest path for
-// both the owner HTTP endpoint and the startup file loader.
+// openRecord brings one catalog entry to a serving table: segment first,
+// CSV fallback second (unless ColdStart), healing the segment when the
+// fallback ran.
+func (r *Registry) openRecord(rec *store.DatasetRecord) (*Dataset, string, error) {
+	var segErr error
+	if rec.SegmentPath != "" {
+		ds, err := r.openSegment(rec.SegmentPath)
+		if err == nil {
+			return ds, "segment", nil
+		}
+		segErr = err
+		r.segmentOpenFails.Add(1)
+		if errors.Is(err, colstore.ErrCorrupt) {
+			if q, qerr := r.store.QuarantineSegment(rec); qerr == nil {
+				r.segmentQuarantines.Add(1)
+				segErr = fmt.Errorf("%v (quarantined to %s)", err, filepath.Base(q))
+			}
+		}
+		if r.policy.ColdStart {
+			return nil, "", fmt.Errorf("cold-start: segment unusable and CSV fallback disabled: %w", segErr)
+		}
+	} else if r.policy.ColdStart {
+		return nil, "", errors.New("cold-start: no column-store segment in catalog entry")
+	}
+
+	// CSV fallback: the legacy full-parse path.
+	csv, err := rec.ReadCSVBytes()
+	if err != nil {
+		if segErr != nil {
+			return nil, "", fmt.Errorf("segment: %v; csv: %v", segErr, err)
+		}
+		return nil, "", err
+	}
+	table, err := dataset.ReadCSV(bytes.NewReader(csv), rec.Schema)
+	if err != nil {
+		if segErr != nil {
+			return nil, "", fmt.Errorf("segment: %v; csv: %v", segErr, err)
+		}
+		return nil, "", err
+	}
+	r.csvFallbacks.Add(1)
+	source := "csv (no segment in catalog)"
+	if segErr != nil {
+		source = fmt.Sprintf("csv (%v)", segErr)
+	}
+
+	// Heal: rebuild the segment next to the entry so the next restart
+	// recovers without this parse. Build under a temp name and adopt via
+	// rename; a crash mid-rebuild leaves the entry exactly as it was.
+	tmp := filepath.Join(r.store.DatasetDir(rec.Name), ".rebuild-"+store.SegmentFile)
+	if _, werr := colstore.WriteTable(tmp, table); werr == nil {
+		if aerr := r.store.AdoptSegment(rec, tmp); aerr == nil {
+			source += ", segment rebuilt"
+			// Serve per policy from the fresh segment — a large table
+			// re-homed to mmap releases its heap copy.
+			if ds, oerr := r.openSegment(rec.SegmentPath); oerr == nil {
+				return ds, source, nil
+			}
+		} else {
+			os.Remove(tmp)
+		}
+	}
+	return newDataset(table, StorageHeap, nil), source, nil
+}
+
+// openSegment opens a segment and homes its table per the storage policy.
+func (r *Registry) openSegment(path string) (*Dataset, error) {
+	seg, err := colstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r.segmentOpens.Add(1)
+	if r.policy.mmapWanted(seg.DataBytes()) {
+		return newDataset(seg.Table(), StorageMmap, seg), nil
+	}
+	// Below threshold: copy onto the heap and release the mapping.
+	heap, err := colstore.HeapCopy(seg.Table())
+	seg.Close()
+	if err != nil {
+		return nil, err
+	}
+	return newDataset(heap, StorageHeap, nil), nil
+}
+
+func newDataset(t *dataset.Table, mode StorageMode, seg *colstore.Segment) *Dataset {
+	return &Dataset{
+		Table:      t,
+		Transforms: workload.NewTransformCache(workload.Options{}),
+		Mode:       mode,
+		Segment:    seg,
+	}
+}
+
+// AddCSV parses and registers a dataset from its source CSV. With a store
+// attached the rows stream through the column-store builder into a
+// durable segment (schema + CSV + segment land atomically in the catalog)
+// and the serving table is homed by the storage policy; the registration
+// is visible only once it is durable. This is the canonical ingest path
+// for both the owner HTTP endpoint and the startup file loader.
 func (r *Registry) AddCSV(name string, schema *dataset.Schema, csv []byte) (*dataset.Table, error) {
+	return r.addCSV(name, schema,
+		func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(csv)), nil })
+}
+
+// AddCSVFile is AddCSV reading the rows from a file, streaming them with
+// bounded memory on the durable path (the CSV is never fully resident).
+func (r *Registry) AddCSVFile(name string, schema *dataset.Schema, csvPath string) (*dataset.Table, error) {
+	return r.addCSV(name, schema,
+		func() (io.ReadCloser, error) { return os.Open(csvPath) })
+}
+
+// addCSV registers from a re-openable CSV source (the durable path reads
+// it twice: once through the segment builder, once into the catalog).
+func (r *Registry) addCSV(name string, schema *dataset.Schema, openCSV func() (io.ReadCloser, error)) (*dataset.Table, error) {
 	if err := validateDatasetName(name); err != nil {
 		return nil, err
 	}
 	if schema == nil {
 		return nil, fmt.Errorf("server: dataset %q: nil schema", name)
-	}
-	table, err := dataset.ReadCSV(bytes.NewReader(csv), schema)
-	if err != nil {
-		return nil, err
 	}
 	// One ingest at a time; r.mu is only taken for the map touches, so
 	// reads (listing, session creation) never wait on disk I/O here.
@@ -128,22 +345,99 @@ func (r *Registry) AddCSV(name string, schema *dataset.Schema, csv []byte) (*dat
 	defer r.ingestMu.Unlock()
 	r.mu.RLock()
 	_, dup := r.tables[name]
+	st, policy := r.store, r.policy
 	r.mu.RUnlock()
 	if dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	if r.store != nil {
-		if err := r.store.SaveDataset(name, schema, csv); err != nil {
+
+	if st == nil {
+		// Memory-only registration: parse straight onto the heap.
+		src, err := openCSV()
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close()
+		table, err := dataset.ReadCSV(src, schema)
+		if err != nil {
+			return nil, err
+		}
+		r.register(name, newDataset(table, StorageHeap, nil))
+		return table, nil
+	}
+
+	tx, err := st.CreateDataset(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	if err := tx.WriteSchema(schema); err != nil {
+		tx.Abort()
+		return nil, fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	// Pass 1: stream the rows through the segment builder. A CSV parse
+	// error surfaces here, before anything is persisted.
+	src, err := openCSV()
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	res, err := colstore.BuildCSV(tx.SegmentPath(), schema, src)
+	src.Close()
+	if err != nil {
+		tx.Abort()
+		if errors.Is(err, colstore.ErrIO) {
+			// Disk trouble, not the owner's CSV: surface as a
+			// persistence failure (500), never a bad-request.
 			return nil, fmt.Errorf("%w: %v", ErrStoreFailed, err)
 		}
+		return nil, err
 	}
+	// Pass 2: the source CSV, byte-exact, for audit and fallback.
+	src, err = openCSV()
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	err = tx.StoreCSV(src)
+	src.Close()
+	if err != nil {
+		tx.Abort()
+		return nil, fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	rec, err := tx.Commit()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+
+	// Serve from the durable segment, homed by policy. (Failing to open
+	// a segment written moments ago means disk trouble; surface it
+	// rather than serving state that would not survive a restart.)
+	var ds *Dataset
+	if policy.mmapWanted(res.DataBytes) {
+		seg, err := colstore.Open(rec.SegmentPath)
+		if err != nil {
+			r.segmentOpenFails.Add(1)
+			return nil, fmt.Errorf("%w: reopen fresh segment: %v", ErrStoreFailed, err)
+		}
+		r.segmentOpens.Add(1)
+		ds = newDataset(seg.Table(), StorageMmap, seg)
+	} else {
+		table, err := colstore.Load(rec.SegmentPath)
+		if err != nil {
+			r.segmentOpenFails.Add(1)
+			return nil, fmt.Errorf("%w: reopen fresh segment: %v", ErrStoreFailed, err)
+		}
+		r.segmentOpens.Add(1)
+		ds = newDataset(table, StorageHeap, nil)
+	}
+	r.register(name, ds)
+	return ds.Table, nil
+}
+
+func (r *Registry) register(name string, ds *Dataset) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.tables[name] = &Dataset{
-		Table:      table,
-		Transforms: workload.NewTransformCache(workload.Options{}),
-	}
-	return table, nil
+	r.tables[name] = ds
 }
 
 // Add registers a table under name. Names are unique: re-registering is an
@@ -162,10 +456,7 @@ func (r *Registry) Add(name string, t *dataset.Table) error {
 	if _, dup := r.tables[name]; dup {
 		return fmt.Errorf("%w: %q", ErrDuplicateDataset, name)
 	}
-	r.tables[name] = &Dataset{
-		Table:      t,
-		Transforms: workload.NewTransformCache(workload.Options{}),
-	}
+	r.tables[name] = newDataset(t, StorageHeap, nil)
 	return nil
 }
 
@@ -192,8 +483,9 @@ func validateDatasetName(name string) error {
 }
 
 // LoadFiles reads a CSV + text-schema pair from disk and registers the
-// table under name, persisting it when a store is attached. This is the
-// startup path used by cmd/apex-server.
+// table under name, persisting it (rows streamed, never fully resident)
+// when a store is attached. This is the startup path used by
+// cmd/apex-server.
 func (r *Registry) LoadFiles(name, csvPath, schemaPath string) error {
 	sf, err := os.Open(schemaPath)
 	if err != nil {
@@ -204,11 +496,7 @@ func (r *Registry) LoadFiles(name, csvPath, schemaPath string) error {
 	if err != nil {
 		return fmt.Errorf("server: dataset %q: %w", name, err)
 	}
-	csv, err := os.ReadFile(csvPath)
-	if err != nil {
-		return fmt.Errorf("server: dataset %q: %w", name, err)
-	}
-	if _, err := r.AddCSV(name, schema, csv); err != nil {
+	if _, err := r.AddCSVFile(name, schema, csvPath); err != nil {
 		return err
 	}
 	return nil
@@ -242,4 +530,73 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// StorageStat is the /metrics view of one dataset's residency.
+type StorageStat struct {
+	Name string
+	Mode StorageMode
+	Rows int
+	// DataBytes is the raw column payload; for an mmap dataset,
+	// MappedBytes is the segment mapping size and ResidentBytes how much
+	// of it physical memory currently holds (mincore). Heap datasets
+	// count their full payload as resident.
+	DataBytes     int64
+	MappedBytes   int64
+	ResidentBytes int64
+}
+
+// StorageCounters are the registry's lifetime segment counters.
+type StorageCounters struct {
+	SegmentOpens       int64
+	SegmentOpenFails   int64
+	SegmentQuarantines int64
+	CSVFallbacks       int64
+}
+
+// StorageStats snapshots per-dataset residency for the metrics collector.
+func (r *Registry) StorageStats() []StorageStat {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]StorageStat, 0, len(r.tables))
+	for name, ds := range r.tables {
+		stat := StorageStat{Name: name, Mode: ds.Mode, Rows: ds.Table.Size()}
+		if ds.Segment != nil {
+			stat.DataBytes = ds.Segment.DataBytes()
+			stat.MappedBytes = ds.Segment.MappedBytes()
+			if res, err := ds.Segment.ResidentBytes(); err == nil {
+				stat.ResidentBytes = res
+			}
+		} else {
+			stat.DataBytes = heapColumnBytes(ds.Table)
+			stat.ResidentBytes = stat.DataBytes
+		}
+		out = append(out, stat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counters snapshots the registry's segment counters.
+func (r *Registry) Counters() StorageCounters {
+	return StorageCounters{
+		SegmentOpens:       r.segmentOpens.Load(),
+		SegmentOpenFails:   r.segmentOpenFails.Load(),
+		SegmentQuarantines: r.segmentQuarantines.Load(),
+		CSVFallbacks:       r.csvFallbacks.Load(),
+	}
+}
+
+// heapColumnBytes estimates a heap table's raw column payload with the
+// same accounting the segment builder uses.
+func heapColumnBytes(t *dataset.Table) int64 {
+	var total int64
+	for pos := 0; pos < t.Schema().Arity(); pos++ {
+		cd := t.ColumnData(pos)
+		total += int64(len(cd.Codes))*4 + int64(len(cd.Vals))*8 + int64(len(cd.MissingWords))*8
+		for _, s := range cd.Dict {
+			total += int64(len(s)) + 1
+		}
+	}
+	return total
 }

@@ -66,6 +66,7 @@ func New(reg *Registry, cfg Config) *Server {
 	}
 	schedCfg := cfg.Sched
 	schedCfg.Metrics = reg2
+	registerStorageMetrics(reg, reg2)
 	return &Server{
 		registry:   reg,
 		sessions:   sessions,
@@ -160,11 +161,13 @@ const (
 	CodeInternal     = "internal_error" // unexpected engine failure
 )
 
-// DatasetInfo describes one registered dataset.
+// DatasetInfo describes one registered dataset. Storage says where the
+// serving table lives: "heap" or "mmap" (the column-store segment).
 type DatasetInfo struct {
-	Name   string          `json:"name"`
-	Rows   int             `json:"rows"`
-	Schema *dataset.Schema `json:"schema,omitempty"`
+	Name    string          `json:"name"`
+	Rows    int             `json:"rows"`
+	Storage string          `json:"storage,omitempty"`
+	Schema  *dataset.Schema `json:"schema,omitempty"`
 }
 
 // AddDatasetRequest registers a dataset through the owner endpoint: the
@@ -276,8 +279,8 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	names := s.registry.Names()
 	out := make([]DatasetInfo, 0, len(names))
 	for _, name := range names {
-		if t, ok := s.registry.Get(name); ok {
-			out = append(out, DatasetInfo{Name: name, Rows: t.Size()})
+		if d, ok := s.registry.Dataset(name); ok {
+			out = append(out, DatasetInfo{Name: name, Rows: d.Table.Size(), Storage: d.Mode.String()})
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -285,12 +288,14 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	t, ok := s.registry.Get(name)
+	d, ok := s.registry.Dataset(name)
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, DatasetInfo{Name: name, Rows: t.Size(), Schema: t.Schema()})
+	writeJSON(w, http.StatusOK, DatasetInfo{
+		Name: name, Rows: d.Table.Size(), Storage: d.Mode.String(), Schema: d.Table.Schema(),
+	})
 }
 
 func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {

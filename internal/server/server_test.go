@@ -444,14 +444,16 @@ func TestSharedEvaluationCacheAcrossSessions(t *testing.T) {
 	}
 
 	// The answers still agree with the data up to the requested accuracy:
-	// ERROR 100 at confidence 0.95 over 500 rows.
+	// ERROR 100 at confidence 0.95 over 500 rows. The bound is 3x the
+	// requested error so the 0.05 noise tail across 20 independent draws
+	// (10 sessions x 2 counts) stays a <0.1% flake, not a ~5% one.
 	trueCounts := []float64{
 		float64(table.Count(dataset.Range{Attr: "age", Lo: 0, Hi: 50})),
 		float64(table.Count(dataset.Range{Attr: "age", Lo: 50, Hi: 100})),
 	}
 	for i := range counts {
 		for j := range counts[i] {
-			if diff := counts[i][j] - trueCounts[j]; diff > 200 || diff < -200 {
+			if diff := counts[i][j] - trueCounts[j]; diff > 300 || diff < -300 {
 				t.Errorf("session %d count %d: noisy %v vs true %v implausibly far", i, j, counts[i][j], trueCounts[j])
 			}
 		}

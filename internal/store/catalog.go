@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,57 +11,198 @@ import (
 	"repro/internal/dataset"
 )
 
-// DatasetRecord is one durable catalog entry: the public schema plus the
-// sensitive rows exactly as they were ingested. Keeping the source CSV
-// (rather than a re-rendering of the columnar table) guarantees that
-// recovery re-parses byte-identical input and reproduces the table the
-// sessions were answering over.
+// Catalog entry files. A dataset directory holds the public schema, the
+// source CSV exactly as ingested, and (for catalogs written since the
+// column store landed) the serialized segment the server can mmap instead
+// of re-parsing the CSV. Old catalogs without a segment still load — the
+// registry re-parses the CSV and heals the entry by writing the segment.
+const (
+	SchemaFile  = "schema.json"
+	CSVFile     = "data.csv"
+	SegmentFile = "table.seg"
+	// QuarantineSuffix is appended to a segment that failed checksum
+	// validation; the file is kept for the operator, never reopened.
+	QuarantineSuffix = ".quarantined"
+)
+
+// DatasetRecord is one durable catalog entry. SegmentPath and CSVPath
+// point at the on-disk artifacts ("" when absent): recovery opens the
+// segment when there is one and only falls back to re-parsing the CSV
+// when there isn't (or the segment is corrupt), so a restart never pays
+// the full-CSV parse for a healthy modern catalog entry and never pulls
+// the rows into memory just to list the catalog.
 type DatasetRecord struct {
-	Name   string
-	Schema *dataset.Schema
-	CSV    []byte
+	Name        string
+	Schema      *dataset.Schema
+	CSVPath     string
+	SegmentPath string
 }
 
-// SaveDataset durably persists one dataset. The write is atomic: files
-// land in a temp directory, are fsynced, and the directory is renamed
-// into the catalog — a crash mid-save leaves at most an invisible temp
-// directory (swept on open of the next save). Saving a name that already
-// exists is an error; the catalog, like the registry, never swaps a
-// table out from under live sessions.
-func (s *Store) SaveDataset(name string, schema *dataset.Schema, csv []byte) error {
+// ReadCSVBytes loads the record's source CSV (the fallback/re-ingest
+// path; recovery from a valid segment never calls it).
+func (r *DatasetRecord) ReadCSVBytes() ([]byte, error) {
+	if r.CSVPath == "" {
+		return nil, fmt.Errorf("store: dataset %q has no source CSV on disk", r.Name)
+	}
+	return os.ReadFile(r.CSVPath)
+}
+
+// DatasetTx stages one dataset registration in a temp directory inside
+// the catalog: the caller writes schema, CSV and segment into Dir(), then
+// Commit renames the directory into place atomically and fsyncs the
+// catalog. A crash mid-build leaves only an invisible temp directory,
+// swept by the next LoadDatasets.
+type DatasetTx struct {
+	store *Store
+	name  string
+	tmp   string
+	final string
+	done  bool
+}
+
+// CreateDataset begins a staged registration. Registering a name that is
+// already persisted is an error; the catalog never swaps a table out from
+// under live sessions.
+func (s *Store) CreateDataset(name string) (*DatasetTx, error) {
 	if name == "" || name != filepath.Base(name) || name[0] == '.' {
-		return fmt.Errorf("store: invalid dataset name %q", name)
+		return nil, fmt.Errorf("store: invalid dataset name %q", name)
 	}
 	final := filepath.Join(s.catalogDir(), name)
 	if _, err := os.Stat(final); err == nil {
-		return fmt.Errorf("store: dataset %q already persisted", name)
+		return nil, fmt.Errorf("store: dataset %q already persisted", name)
 	} else if !os.IsNotExist(err) {
-		return fmt.Errorf("store: %w", err)
-	}
-
-	schemaJSON, err := json.Marshal(schema)
-	if err != nil {
-		return fmt.Errorf("store: dataset %q schema: %w", name, err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	tmp, err := os.MkdirTemp(s.catalogDir(), ".tmp-"+name+"-")
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return nil, fmt.Errorf("store: %w", err)
 	}
-	defer os.RemoveAll(tmp) // no-op after a successful rename
+	return &DatasetTx{store: s, name: name, tmp: tmp, final: final}, nil
+}
 
-	if err := writeFileSync(filepath.Join(tmp, "schema.json"), schemaJSON); err != nil {
-		return fmt.Errorf("store: dataset %q: %w", name, err)
+// Dir returns the staging directory; SegmentPath names the segment file
+// the column-store builder should write inside it.
+func (tx *DatasetTx) Dir() string         { return tx.tmp }
+func (tx *DatasetTx) SegmentPath() string { return filepath.Join(tx.tmp, SegmentFile) }
+
+// WriteSchema persists the public schema into the staging directory.
+func (tx *DatasetTx) WriteSchema(schema *dataset.Schema) error {
+	schemaJSON, err := json.Marshal(schema)
+	if err != nil {
+		return fmt.Errorf("store: dataset %q schema: %w", tx.name, err)
 	}
-	if err := writeFileSync(filepath.Join(tmp, "data.csv"), csv); err != nil {
-		return fmt.Errorf("store: dataset %q: %w", name, err)
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("store: dataset %q: %w", name, err)
-	}
-	if err := syncDir(s.catalogDir()); err != nil {
-		return fmt.Errorf("store: dataset %q: %w", name, err)
+	if err := writeFileSync(filepath.Join(tx.tmp, SchemaFile), schemaJSON); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", tx.name, err)
 	}
 	return nil
+}
+
+// StoreCSV streams the source rows into the staging directory and fsyncs
+// them, without ever holding the whole file in memory.
+func (tx *DatasetTx) StoreCSV(r io.Reader) error {
+	f, err := os.OpenFile(filepath.Join(tx.tmp, CSVFile), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: dataset %q: %w", tx.name, err)
+	}
+	if _, err := io.Copy(f, r); err != nil {
+		f.Close()
+		return fmt.Errorf("store: dataset %q: %w", tx.name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: dataset %q: %w", tx.name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", tx.name, err)
+	}
+	return nil
+}
+
+// Commit renames the staged directory into the catalog. After a nil
+// return the dataset is durable; the tx is spent either way.
+func (tx *DatasetTx) Commit() (*DatasetRecord, error) {
+	if tx.done {
+		return nil, fmt.Errorf("store: dataset %q transaction already finished", tx.name)
+	}
+	tx.done = true
+	if err := os.Rename(tx.tmp, tx.final); err != nil {
+		os.RemoveAll(tx.tmp)
+		return nil, fmt.Errorf("store: dataset %q: %w", tx.name, err)
+	}
+	if err := syncDir(tx.store.catalogDir()); err != nil {
+		return nil, fmt.Errorf("store: dataset %q: %w", tx.name, err)
+	}
+	return tx.store.loadDataset(tx.name)
+}
+
+// Abort discards the staging directory. Safe after Commit (no-op).
+func (tx *DatasetTx) Abort() {
+	if !tx.done {
+		tx.done = true
+		os.RemoveAll(tx.tmp)
+	}
+}
+
+// SaveDataset durably persists one dataset from in-memory schema + CSV
+// bytes (no segment; the registry's ingest path writes segments through
+// CreateDataset directly). Kept as the simple whole-payload convenience.
+func (s *Store) SaveDataset(name string, schema *dataset.Schema, csv []byte) error {
+	tx, err := s.CreateDataset(name)
+	if err != nil {
+		return err
+	}
+	if err := tx.WriteSchema(schema); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := writeFileSync(filepath.Join(tx.tmp, CSVFile), csv); err != nil {
+		tx.Abort()
+		return fmt.Errorf("store: dataset %q: %w", name, err)
+	}
+	_, err = tx.Commit()
+	return err
+}
+
+// QuarantineSegment renames a corrupt segment aside (table.seg →
+// table.seg.quarantined) so the entry falls back to its CSV and the bad
+// file stays inspectable. It never deletes data.
+func (s *Store) QuarantineSegment(rec *DatasetRecord) (string, error) {
+	if rec.SegmentPath == "" {
+		return "", fmt.Errorf("store: dataset %q has no segment to quarantine", rec.Name)
+	}
+	quarantined := rec.SegmentPath + QuarantineSuffix
+	// A leftover quarantine from an earlier life is replaced: the newest
+	// corrupt artifact is the one worth inspecting.
+	if err := os.Rename(rec.SegmentPath, quarantined); err != nil {
+		return "", fmt.Errorf("store: dataset %q: %w", rec.Name, err)
+	}
+	if err := syncDir(filepath.Dir(quarantined)); err != nil {
+		return "", fmt.Errorf("store: dataset %q: %w", rec.Name, err)
+	}
+	rec.SegmentPath = ""
+	return quarantined, nil
+}
+
+// AdoptSegment atomically installs a freshly rebuilt segment (written at
+// tmpPath inside the dataset directory) as the entry's table.seg — the
+// healing path after a CSV fallback, and the upgrade path for catalogs
+// that predate the column store.
+func (s *Store) AdoptSegment(rec *DatasetRecord, tmpPath string) error {
+	final := filepath.Join(s.catalogDir(), rec.Name, SegmentFile)
+	if err := os.Rename(tmpPath, final); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", rec.Name, err)
+	}
+	if err := syncDir(filepath.Dir(final)); err != nil {
+		return fmt.Errorf("store: dataset %q: %w", rec.Name, err)
+	}
+	rec.SegmentPath = final
+	return nil
+}
+
+// DatasetDir returns the catalog directory of a persisted dataset (for
+// staging a rebuilt segment on the same filesystem).
+func (s *Store) DatasetDir(name string) string {
+	return filepath.Join(s.catalogDir(), name)
 }
 
 // LoadDatasets reads every persisted dataset, sorted by name. Temp
@@ -97,7 +239,7 @@ func (s *Store) LoadDatasets() (recs []DatasetRecord, skipped []string, err erro
 
 func (s *Store) loadDataset(name string) (*DatasetRecord, error) {
 	dir := filepath.Join(s.catalogDir(), name)
-	schemaJSON, err := os.ReadFile(filepath.Join(dir, "schema.json"))
+	schemaJSON, err := os.ReadFile(filepath.Join(dir, SchemaFile))
 	if err != nil {
 		return nil, err
 	}
@@ -105,11 +247,22 @@ func (s *Store) loadDataset(name string) (*DatasetRecord, error) {
 	if err := json.Unmarshal(schemaJSON, schema); err != nil {
 		return nil, err
 	}
-	csv, err := os.ReadFile(filepath.Join(dir, "data.csv"))
-	if err != nil {
-		return nil, err
+	rec := &DatasetRecord{Name: name, Schema: schema}
+	if p := filepath.Join(dir, CSVFile); fileExists(p) {
+		rec.CSVPath = p
 	}
-	return &DatasetRecord{Name: name, Schema: schema, CSV: csv}, nil
+	if p := filepath.Join(dir, SegmentFile); fileExists(p) {
+		rec.SegmentPath = p
+	}
+	if rec.CSVPath == "" && rec.SegmentPath == "" {
+		return nil, fmt.Errorf("neither %s nor %s present", CSVFile, SegmentFile)
+	}
+	return rec, nil
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Mode().IsRegular()
 }
 
 // writeFileSync writes data and fsyncs before closing.

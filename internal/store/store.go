@@ -8,6 +8,8 @@
 //
 //	<dir>/catalog/<name>/schema.json   public schema (dataset JSON form)
 //	<dir>/catalog/<name>/data.csv      sensitive rows, exactly as ingested
+//	<dir>/catalog/<name>/table.seg     column-store segment (mmap-served;
+//	                                   absent in catalogs predating it)
 //	<dir>/sessions/<id>.wal            live session log (meta + entries)
 //	<dir>/sessions/<id>.wal.closed     session closed by the analyst
 //	<dir>/sessions/<id>.wal.invalid    quarantined: failed re-validation

@@ -68,10 +68,17 @@ func TestCatalogSaveLoad(t *testing.T) {
 	if len(recs) != 2 || recs[0].Name != "people" || recs[1].Name != "zoo" {
 		t.Fatalf("recovered %+v", recs)
 	}
-	if !bytes.Equal(recs[0].CSV, []byte(testCSV)) {
-		t.Fatalf("CSV changed: %q", recs[0].CSV)
+	csvBytes, err := recs[0].ReadCSVBytes()
+	if err != nil {
+		t.Fatal(err)
 	}
-	tb, err := dataset.ReadCSV(bytes.NewReader(recs[0].CSV), recs[0].Schema)
+	if !bytes.Equal(csvBytes, []byte(testCSV)) {
+		t.Fatalf("CSV changed: %q", csvBytes)
+	}
+	if recs[0].SegmentPath != "" {
+		t.Fatalf("SaveDataset wrote no segment, but record points at %q", recs[0].SegmentPath)
+	}
+	tb, err := dataset.ReadCSV(bytes.NewReader(csvBytes), recs[0].Schema)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,14 @@
 // starts it with a data dir, registers a dataset and runs a session to
 // partial budget, kills the process with SIGKILL, restarts it on the same
 // data dir, and asserts that the dataset, the session's remaining budget
-// and the byte-identical transcript all survived. It exits nonzero (with
-// a reason) on any divergence. Run it from the repository root:
+// and the byte-identical transcript all survived. It then exercises the
+// column-store recovery ladder: a restart with the segment deleted must
+// fall back to re-parsing the CSV and rebuild the segment in place (the
+// legacy cost, whose parse time it records), and a final restart with
+// -cold-start and the source CSV deleted must serve answers purely from
+// the segment — proving restart cost no longer scales with the CSV. It
+// exits nonzero (with a reason) on any divergence. Run it from the
+// repository root:
 //
 //	go run ./scripts/recoverysmoke
 //
@@ -21,6 +27,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -139,11 +146,80 @@ func run() error {
 	}
 
 	// ---- graceful shutdown path: SIGTERM must drain and exit cleanly.
-	if err := srv2.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := stopServer(srv2); err != nil {
+		return err
+	}
+
+	// ---- column-store recovery ladder.
+	catalogDir := filepath.Join(dataDir, "catalog", "smoke")
+
+	// (a) Legacy path: delete the segment; the restart must fall back to
+	// re-parsing data.csv and rebuild the segment in place. The logged
+	// recovery line records the CSV parse time.
+	if err := os.Remove(filepath.Join(catalogDir, "table.seg")); err != nil {
+		return fmt.Errorf("remove segment: %w", err)
+	}
+	srv3, logs3, err := startServerCapture(bin, addr, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart without segment: %w", err)
+	}
+	defer srv3.Process.Kill()
+	if _, err := get(base + "/v1/datasets/smoke"); err != nil {
+		return fmt.Errorf("dataset lost on CSV-fallback restart: %w", err)
+	}
+	csvLine := recoveryLine(logs3())
+	if !strings.Contains(csvLine, "recovered from csv") || !strings.Contains(csvLine, "segment rebuilt") {
+		return fmt.Errorf("CSV fallback did not rebuild the segment; recovery log: %q", csvLine)
+	}
+	fmt.Printf("recoverysmoke: CSV re-parse recovery: %s\n", csvLine)
+	if err := stopServer(srv3); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(catalogDir, "table.seg")); err != nil {
+		return fmt.Errorf("segment not rebuilt on disk: %w", err)
+	}
+
+	// (b) Segment-only path: delete the source CSV and restart with
+	// -cold-start. Recovery must come from the segment alone and the
+	// dataset must keep answering queries.
+	if err := os.Remove(filepath.Join(catalogDir, "data.csv")); err != nil {
+		return fmt.Errorf("remove csv: %w", err)
+	}
+	srv4, logs4, err := startServerCapture(bin, addr, dataDir, "-cold-start")
+	if err != nil {
+		return fmt.Errorf("cold-start restart: %w", err)
+	}
+	defer srv4.Process.Kill()
+	segLine := recoveryLine(logs4())
+	if !strings.Contains(segLine, "recovered from segment") {
+		return fmt.Errorf("cold start did not recover from segment; recovery log: %q", segLine)
+	}
+	fmt.Printf("recoverysmoke: segment recovery (no CSV on disk): %s\n", segLine)
+	ds, err := get(base + "/v1/datasets/smoke")
+	if err != nil {
+		return fmt.Errorf("dataset lost on cold start: %w", err)
+	}
+	if storage, _ := ds["storage"].(string); storage == "" {
+		return fmt.Errorf("dataset info carries no storage mode: %v", ds)
+	}
+	sess2, err := post(base+"/v1/sessions", map[string]any{"dataset": "smoke", "budget": 1.0}, http.StatusCreated)
+	if err != nil {
+		return fmt.Errorf("cold-start session: %w", err)
+	}
+	id2, _ := sess2["id"].(string)
+	if _, err := post(base+"/v1/sessions/"+id2+"/query", map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("cold-start query (answers must come from the segment): %w", err)
+	}
+	return stopServer(srv4)
+}
+
+// stopServer SIGTERMs the server and waits for a clean exit.
+func stopServer(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv2.Wait() }()
+	go func() { done <- cmd.Wait() }()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -155,12 +231,32 @@ func run() error {
 	return nil
 }
 
+// recoveryLine extracts the dataset-recovery log line (source + timing).
+func recoveryLine(logs string) string {
+	for _, line := range strings.Split(logs, "\n") {
+		if strings.Contains(line, "recovered from") {
+			return strings.TrimSpace(line)
+		}
+	}
+	return ""
+}
+
 func startServer(bin, addr, dataDir string) (*exec.Cmd, error) {
-	cmd := exec.Command(bin, "-listen", addr, "-data-dir", dataDir)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
+	cmd, _, err := startServerCapture(bin, addr, dataDir)
+	return cmd, err
+}
+
+// startServerCapture starts the server, waits for /healthz, and returns a
+// snapshot function over its combined log output (also teed to stdout).
+func startServerCapture(bin, addr, dataDir string, extra ...string) (*exec.Cmd, func() string, error) {
+	args := append([]string{"-listen", addr, "-data-dir", dataDir}, extra...)
+	cmd := exec.Command(bin, args...)
+	logs := &lockedBuffer{}
+	tee := io.MultiWriter(os.Stdout, logs)
+	cmd.Stdout = tee
+	cmd.Stderr = tee
 	if err := cmd.Start(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	base := "http://" + addr
 	for i := 0; i < 100; i++ {
@@ -168,13 +264,32 @@ func startServer(bin, addr, dataDir string) (*exec.Cmd, error) {
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
-				return cmd, nil
+				return cmd, logs.String, nil
 			}
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	cmd.Process.Kill()
-	return nil, fmt.Errorf("server at %s never became healthy", addr)
+	return nil, nil, fmt.Errorf("server at %s never became healthy", addr)
+}
+
+// lockedBuffer is a mutex-guarded byte buffer (the server writes logs
+// from its own process pipe goroutine while the smoke reads snapshots).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // freeAddr reserves an ephemeral port and releases it for the server.
