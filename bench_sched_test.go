@@ -33,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mechanism"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -63,7 +64,7 @@ func schedBenchQuery(b *testing.B, n int64) *query.Query {
 
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	for _, analysts := range []int{1, 8, 64} {
-		for _, mode := range []string{"direct", "sched"} {
+		for _, mode := range []string{"direct", "sched", "traced"} {
 			b.Run(fmt.Sprintf("analysts=%d/%s", analysts, mode), func(b *testing.B) {
 				d := columnarBenchTable(schedBenchRows(b))
 				cache := workload.NewTransformCache(workload.Options{})
@@ -82,9 +83,17 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 					engines[i] = e
 				}
 				var s *sched.Scheduler
-				if mode == "sched" {
+				if mode != "direct" {
 					s = sched.New(sched.Config{MaxBatch: 64, QueueDepth: 4096})
 					defer s.Close()
+				}
+				// "traced" is "sched" with the full observability path on:
+				// a root trace per request, every pipeline phase recorded
+				// into the ring and the phase histograms — the delta
+				// against "sched" is the tracing overhead.
+				var tracer *obs.Tracer
+				if mode == "traced" {
+					tracer = obs.New(obs.Config{})
 				}
 				var next atomic.Int64
 				b.ResetTimer()
@@ -100,9 +109,15 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 							}
 							q := schedBenchQuery(b, n)
 							var err error
-							if s != nil {
+							switch {
+							case tracer != nil:
+								rid := fmt.Sprintf("bench-%d", n)
+								ctx, tr := tracer.Start(obs.WithRequestID(context.Background(), rid), rid, "bench query")
+								_, err = s.Ask(ctx, "adult", fmt.Sprintf("s%d", a), engines[a], q)
+								tr.Finish()
+							case s != nil:
 								_, err = s.Ask(context.Background(), "adult", fmt.Sprintf("s%d", a), engines[a], q)
-							} else {
+							default:
 								_, err = engines[a].Ask(q)
 							}
 							if err != nil {

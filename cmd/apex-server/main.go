@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -75,6 +76,10 @@ func main() {
 		schedWorkers = flag.Int("sched-workers", 0, "batch executors per dataset (0 = scheduler default)")
 		maxBatch     = flag.Int("max-batch", 0, "max queries coalesced into one batched columnar pass (0 = scheduler default)")
 		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint attached to 429 rejections (0 = scheduler default)")
+		debugAddr    = flag.String("debug-addr", "", "address for the private debug listener (net/http/pprof + runtime metrics); empty = disabled, keep it off the public network")
+		slowQuery    = flag.Duration("slow-query", 0, "log a structured JSON line (with trace ID and per-phase breakdown) for every request at least this slow; 0 = disabled")
+		traceCap     = flag.Int("trace-capacity", 0, "recent request traces retained for GET /v1/debug/traces (0 = default)")
+		disableTrace = flag.Bool("disable-tracing", false, "turn off request tracing (span recording, /v1/debug/traces, slow-query log); X-Request-ID assignment stays on")
 		mmapThresh   = flag.Int64("mmap-threshold", server.DefaultMmapThreshold,
 			"raw column bytes at/above which a durable dataset is served from its mmap'd column-store segment instead of the heap (0 = always mmap, negative = never)")
 		coldStart = flag.Bool("cold-start", false,
@@ -148,7 +153,27 @@ func main() {
 			MaxBatch:   *maxBatch,
 			RetryAfter: *retryAfter,
 		},
+		Trace: server.TraceConfig{
+			Disable:   *disableTrace,
+			Capacity:  *traceCap,
+			SlowQuery: *slowQuery,
+		},
 	})
+
+	// The debug listener is opt-in and separate from the public one, so
+	// profiling endpoints (pprof can dump heap contents) never share a
+	// port with analyst traffic. Enabling it also registers the Go runtime
+	// gauges (goroutines, heap, GC pauses) into the metrics registry.
+	if *debugAddr != "" {
+		obs.RegisterRuntimeMetrics(srv.Metrics())
+		dbg := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(srv.Metrics())}
+		go func() {
+			log.Printf("apex-server: debug listener (pprof + metrics) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("apex-server: debug listener: %v", err)
+			}
+		}()
+	}
 
 	// Recovery phase 2: session logs. Torn tails are repaired to the
 	// last valid frame; transcripts that fail Definition 6.1 validation

@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/dataset"
@@ -24,13 +25,19 @@ import (
 // entryWire is the on-disk form of one Entry. Float fields are never
 // omitempty: omitempty drops -0.0 (it compares equal to zero), and the
 // decoded +0.0 would render differently, breaking the byte-identical
-// transcript guarantee.
+// transcript guarantee. The provenance pair (trace_id, at_ns) is only
+// present when the entry was committed by a traced request — engine-
+// direct transcripts encode without it, byte-identically to before the
+// fields existed. at_ns is unix nanoseconds: a time.Time struct can never
+// be omitempty, an int64 can, and UnixNano round-trips exactly.
 type entryWire struct {
 	Query   *queryWire  `json:"query,omitempty"`
 	Label   string      `json:"label,omitempty"`
 	Denied  bool        `json:"denied,omitempty"`
 	Epsilon float64     `json:"epsilon"`
 	Answer  *answerWire `json:"answer,omitempty"`
+	TraceID string      `json:"trace_id,omitempty"`
+	At      int64       `json:"at_ns,omitempty"`
 }
 
 type queryWire struct {
@@ -55,7 +62,10 @@ type answerWire struct {
 // encoded; such queries only arise through the programmatic API, never
 // from the parser the server and CLI feed.
 func EncodeEntry(e Entry) ([]byte, error) {
-	w := entryWire{Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon}
+	w := entryWire{Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon, TraceID: e.TraceID}
+	if !e.At.IsZero() {
+		w.At = e.At.UnixNano()
+	}
 	if e.Query != nil {
 		qw, err := encodeQuery(e.Query)
 		if err != nil {
@@ -82,7 +92,10 @@ func DecodeEntry(b []byte) (Entry, error) {
 	if err := json.Unmarshal(b, &w); err != nil {
 		return Entry{}, fmt.Errorf("engine: entry JSON: %w", err)
 	}
-	e := Entry{Label: w.Label, Denied: w.Denied, Epsilon: w.Epsilon}
+	e := Entry{Label: w.Label, Denied: w.Denied, Epsilon: w.Epsilon, TraceID: w.TraceID}
+	if w.At != 0 {
+		e.At = time.Unix(0, w.At).UTC()
+	}
 	if w.Query != nil {
 		q, err := decodeQuery(w.Query)
 		if err != nil {

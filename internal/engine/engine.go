@@ -28,6 +28,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/mechanism"
 	"repro/internal/noise"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/strategy"
 	"repro/internal/workload"
@@ -123,12 +124,21 @@ func (a *Answer) SelectedPredicates() []dataset.Predicate {
 // Entry is one transcript record: the query with its accuracy requirement
 // and either the answer or the denial. External charges (extensions such as
 // SUM aggregates) carry a Label instead of a Query.
+//
+// TraceID and At are provenance: the request trace that committed the
+// entry and when it committed. They are stamped only when the committing
+// context carries a request ID (the server path) — engine-direct callers
+// produce entries without them, which keeps transcripts byte-identical
+// across storage backends and sequential runs.
 type Entry struct {
 	Query   *query.Query
 	Label   string  // set for external charges
 	Answer  *Answer // nil when denied
 	Denied  bool
 	Epsilon float64 // actual loss (0 when denied)
+
+	TraceID string    // request trace that committed this entry, if any
+	At      time.Time // commit time; zero when TraceID is empty
 }
 
 // Config customizes engine construction.
@@ -163,12 +173,14 @@ type Config struct {
 	// released. If the hook returns an error the entry and any budget
 	// charge stand (the noise has already been drawn) but the caller gets
 	// an error wrapping ErrPersist instead of the answer: budget is never
-	// under-accounted across a crash.
+	// under-accounted across a crash. ctx is the committing request's
+	// context, carrying its trace so the hook's own waits (WAL flush)
+	// appear as spans in the request's trace.
 	OnCommit CommitHook
 }
 
 // CommitHook observes transcript appends; see Config.OnCommit.
-type CommitHook func(n int, e Entry) error
+type CommitHook func(ctx context.Context, n int, e Entry) error
 
 // Engine is the APEx privacy engine for one sensitive table.
 type Engine struct {
@@ -403,7 +415,7 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 		e.Abort(plan)
 		return nil, err
 	}
-	return e.Commit(plan, e.Execute(plan))
+	return e.Commit(ctx, plan, e.Execute(ctx, plan))
 }
 
 // Prepare runs the first phase of a query under the engine lock: validate,
@@ -424,12 +436,16 @@ func (e *Engine) AskContext(ctx context.Context, q *query.Query) (*Answer, error
 // plans can never jointly overrun B (their commits stay valid under
 // Definition 6.1 in any completion order).
 func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answer, error) {
+	ctx, prepSpan := obs.StartSpan(ctx, "prepare")
+	defer prepSpan.End()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
+	key := workload.Key(q.Predicates)
+	prepSpan.Set("transform_cache_hit", e.transforms.Has(key))
 	tr, err := e.transform(q)
 	if err != nil {
 		return nil, nil, err
@@ -447,14 +463,18 @@ func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answ
 		return nil, nil, ErrSealed
 	}
 
-	key := workload.Key(q.Predicates)
 	if ans := e.tryReuse(q, key); ans != nil {
-		if err := e.append(Entry{Query: q, Answer: ans}); err != nil {
+		prepSpan.Set("reuse_hit", true)
+		if err := e.append(ctx, Entry{Query: q, Answer: ans}); err != nil {
 			return nil, nil, err
 		}
 		return nil, ans, nil
 	}
 
+	// The translation loop is the Monte-Carlo-bearing part of Prepare
+	// (pessimistic translators simulate the noise distribution), so it gets
+	// its own span under "prepare".
+	_, tlSpan := obs.StartSpan(ctx, "translate")
 	remaining := e.budget - e.spent - e.reserved
 	var best *Choice
 	for _, m := range e.mechs {
@@ -463,6 +483,7 @@ func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answ
 		}
 		cost, err := m.Translate(q, tr)
 		if err != nil {
+			tlSpan.End()
 			return nil, nil, fmt.Errorf("engine: %s translate: %w", m.Name(), err)
 		}
 		// Only mechanisms whose worst case fits may run (privacy analyzer).
@@ -474,13 +495,21 @@ func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answ
 			best = &c
 		}
 	}
+	if best != nil {
+		tlSpan.Set("mechanism", best.Mechanism.Name())
+		tlSpan.Set("eps_lower", best.Cost.Lower)
+		tlSpan.Set("eps_upper", best.Cost.Upper)
+	}
+	tlSpan.End()
 	if best == nil {
-		if err := e.append(Entry{Query: q, Denied: true}); err != nil {
+		prepSpan.Set("denied", true)
+		if err := e.append(ctx, Entry{Query: q, Denied: true}); err != nil {
 			return nil, nil, err
 		}
 		return nil, nil, ErrDenied
 	}
 
+	prepSpan.Set("reserved_eps", best.Cost.Upper)
 	e.reserved += best.Cost.Upper
 	e.inflight++
 	return &exec.Plan{
@@ -499,12 +528,21 @@ func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answ
 // single-stream), but independent engines execute concurrently, and the
 // noise-free scan inside typically hits the shared per-dataset evaluation
 // cache a batching scheduler warmed beforehand.
-func (e *Engine) Execute(p *exec.Plan) *exec.Outcome {
+//
+// The "execute" span opens before the run lock is taken, so it covers the
+// wait for the engine's serialized random stream as well as the
+// mechanism's scan and noise draw; run_us isolates the run itself.
+func (e *Engine) Execute(ctx context.Context, p *exec.Plan) *exec.Outcome {
+	_, span := obs.StartSpan(ctx, "execute")
 	e.execMu.Lock()
 	defer e.execMu.Unlock()
 	start := time.Now()
 	res, err := p.Mechanism.Run(p.Query, p.Transformed, e.data, e.rng)
-	return &exec.Outcome{Result: res, Err: err, Elapsed: time.Since(start)}
+	elapsed := time.Since(start)
+	span.Set("mechanism", p.Mechanism.Name())
+	span.Set("run_us", elapsed.Microseconds())
+	span.End()
+	return &exec.Outcome{Result: res, Err: err, Elapsed: elapsed}
 }
 
 // Commit settles a plan under the engine lock: the reservation is
@@ -513,7 +551,9 @@ func (e *Engine) Execute(p *exec.Plan) *exec.Outcome {
 // like the transcript, as in the single-phase path. A mechanism failure
 // in the outcome charges and logs nothing (matching Ask), and an actual
 // loss above the reserved upper bound is rejected as a mechanism failure.
-func (e *Engine) Commit(p *exec.Plan, o *exec.Outcome) (*Answer, error) {
+func (e *Engine) Commit(ctx context.Context, p *exec.Plan, o *exec.Outcome) (*Answer, error) {
+	ctx, span := obs.StartSpan(ctx, "commit")
+	defer span.End()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.finish(p); err != nil {
@@ -535,8 +575,9 @@ func (e *Engine) Commit(p *exec.Plan, o *exec.Outcome) (*Answer, error) {
 		EpsilonUpper: p.Cost.Upper,
 		Mechanism:    p.Mechanism.Name(),
 	}
+	span.Set("epsilon", res.Epsilon)
 	e.spent += res.Epsilon
-	if err := e.append(Entry{Query: p.Query, Answer: ans, Epsilon: res.Epsilon}); err != nil {
+	if err := e.append(ctx, Entry{Query: p.Query, Answer: ans, Epsilon: res.Epsilon}); err != nil {
 		// The charge stands — the noisy answer exists even if the analyst
 		// never sees it — so a crash can only over-, never under-account.
 		return nil, err
@@ -588,13 +629,21 @@ func planNeeds(m mechanism.Mechanism, q *query.Query, tr *workload.Transformed) 
 // holds e.mu. On hook failure the entry stays in the in-memory log (and
 // any charge the caller applied stands) and an ErrPersist-wrapped error
 // is returned for the caller to surface instead of the answer.
-func (e *Engine) append(en Entry) error {
+//
+// Provenance (TraceID, At) is stamped only when ctx carries a request ID:
+// engine-direct callers keep byte-identical transcripts across runs and
+// storage backends, while served requests get attributable entries.
+func (e *Engine) append(ctx context.Context, en Entry) error {
+	if id := obs.RequestID(ctx); id != "" {
+		en.TraceID = id
+		en.At = time.Now()
+	}
 	n := len(e.log)
 	e.log = append(e.log, en)
 	if e.onCommit == nil {
 		return nil
 	}
-	if err := e.onCommit(n, en); err != nil {
+	if err := e.onCommit(ctx, n, en); err != nil {
 		return fmt.Errorf("engine: commit entry %d: %v: %w", n, err, ErrPersist)
 	}
 	return nil
@@ -618,13 +667,13 @@ func (e *Engine) ChargeExternal(upper, actual float64, label string) error {
 	// otherwise an external charge racing a prepared plan could jointly
 	// overrun B even though each passed its own admission check.
 	if upper > e.budget-e.spent-e.reserved+epsTol {
-		if err := e.append(Entry{Label: label, Denied: true}); err != nil {
+		if err := e.append(context.Background(), Entry{Label: label, Denied: true}); err != nil {
 			return err
 		}
 		return ErrDenied
 	}
 	e.spent += actual
-	return e.append(Entry{Label: label, Epsilon: actual})
+	return e.append(context.Background(), Entry{Label: label, Epsilon: actual})
 }
 
 // Seal closes the engine to new interactions: once it returns, any

@@ -32,7 +32,7 @@ func TestTwoPhaseMatchesAsk(t *testing.T) {
 	if plan.Cost.Upper <= 0 || plan.Mechanism == nil {
 		t.Fatalf("plan incomplete: %+v", plan)
 	}
-	ansB, err := phased.Commit(plan, phased.Execute(plan))
+	ansB, err := phased.Commit(context.Background(), plan, phased.Execute(context.Background(), plan))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestChargeExternalSeesReservations(t *testing.T) {
 	if err := e.ChargeExternal(plan.Cost.Upper, plan.Cost.Upper, "sum"); !errors.Is(err, ErrDenied) {
 		t.Fatalf("external charge during in-flight plan: got %v, want ErrDenied", err)
 	}
-	if _, err := e.Commit(plan, e.Execute(plan)); err != nil {
+	if _, err := e.Commit(context.Background(), plan, e.Execute(context.Background(), plan)); err != nil {
 		t.Fatal(err)
 	}
 	if spent, err := e.Validate(); err != nil || spent > e.Budget()+1e-9 {
@@ -114,11 +114,11 @@ func TestDoubleCommitRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := e.Execute(plan)
-	if _, err := e.Commit(plan, out); err != nil {
+	out := e.Execute(context.Background(), plan)
+	if _, err := e.Commit(context.Background(), plan, out); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Commit(plan, out); err == nil {
+	if _, err := e.Commit(context.Background(), plan, out); err == nil {
 		t.Fatal("second Commit must fail")
 	}
 	if spent, err := e.Validate(); err != nil || spent > e.Budget() {
@@ -136,10 +136,10 @@ func TestCommitRejectsForeignPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e2.Commit(plan, e1.Execute(plan)); err == nil {
+	if _, err := e2.Commit(context.Background(), plan, e1.Execute(context.Background(), plan)); err == nil {
 		t.Fatal("foreign Commit must fail")
 	}
-	if _, err := e1.Commit(plan, e1.Execute(plan)); err != nil {
+	if _, err := e1.Commit(context.Background(), plan, e1.Execute(context.Background(), plan)); err != nil {
 		t.Fatalf("rightful Commit: %v", err)
 	}
 }
@@ -164,7 +164,7 @@ func TestSealWaitsForInflightPlans(t *testing.T) {
 		t.Fatal("Seal returned while a plan was in flight")
 	default:
 	}
-	if _, err := e.Commit(plan, e.Execute(plan)); err != nil {
+	if _, err := e.Commit(context.Background(), plan, e.Execute(context.Background(), plan)); err != nil {
 		t.Fatal(err)
 	}
 	<-sealed
@@ -201,7 +201,7 @@ func TestConcurrentTwoPhaseKeepsInvariant(t *testing.T) {
 				_ = ans
 				return
 			}
-			if _, err := e.Commit(plan, e.Execute(plan)); err != nil {
+			if _, err := e.Commit(context.Background(), plan, e.Execute(context.Background(), plan)); err != nil {
 				t.Errorf("Commit: %v", err)
 			}
 		}()

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -145,7 +146,7 @@ func TestCommitHookOrderingAndPersistFailure(t *testing.T) {
 	eng, err := engine.New(tb, engine.Config{
 		Budget: 5,
 		Rng:    rand.New(rand.NewSource(3)),
-		OnCommit: func(n int, e engine.Entry) error {
+		OnCommit: func(_ context.Context, n int, e engine.Entry) error {
 			if fail {
 				return fmt.Errorf("disk on fire")
 			}
@@ -191,7 +192,7 @@ func TestSealStopsInteractions(t *testing.T) {
 	eng, err := engine.New(tb, engine.Config{
 		Budget:   5,
 		Rng:      rand.New(rand.NewSource(3)),
-		OnCommit: func(int, engine.Entry) error { commits++; return nil },
+		OnCommit: func(context.Context, int, engine.Entry) error { commits++; return nil },
 	})
 	if err != nil {
 		t.Fatal(err)

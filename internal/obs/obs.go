@@ -1,0 +1,503 @@
+// Package obs is the server's dependency-free tracing and structured-
+// logging subsystem, in the style of internal/metrics. Every request gets
+// a trace — a tree of timed spans recording where its latency went: queue
+// wait, batch membership, workload transformation (cache hit or miss),
+// Monte-Carlo translation, mechanism execution, budget settle and WAL
+// flush wait — threaded through the server, scheduler, engine and store
+// via context.Context.
+//
+// The design optimizes for near-zero cost when tracing is off: a nil
+// *Tracer is fully usable (Start returns a nil *Trace), every method is
+// nil-receiver safe, and StartSpan/RecordSpan on a context that carries no
+// trace are no-ops that allocate nothing. Code under observation therefore
+// never checks "is tracing enabled" — it just emits spans.
+//
+// Three export surfaces hang off a Tracer:
+//
+//   - a bounded ring of recent finished traces, served by the server at
+//     GET /v1/debug/traces and filterable by dataset/session/min-duration;
+//   - per-phase latency histograms (apex_phase_seconds{phase=...})
+//     registered into an existing metrics.Registry, one observation per
+//     finished span, so /metrics shows where pipeline time goes in
+//     aggregate even when individual traces have rotated out of the ring;
+//   - a slow-query log: one structured JSON line per trace whose total
+//     duration meets the configured threshold, carrying the trace ID so an
+//     operator can grep a user-reported ID straight to its phase breakdown.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ctxKey keys the context values this package threads.
+type ctxKey int
+
+const (
+	ridKey  ctxKey = iota // request/trace ID (string)
+	spanKey               // current *Span
+)
+
+// WithRequestID returns a context carrying the request's trace ID. The
+// server middleware sets it for every request — independent of whether a
+// Tracer is attached — so error bodies and transcript entries can carry
+// the ID even when span recording is disabled.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey, id)
+}
+
+// RequestID returns the trace ID carried by ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-char random trace ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps
+		// requests flowing and is only a debugging aid, not a secret.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxRequestIDLen bounds client-supplied X-Request-ID values.
+const maxRequestIDLen = 64
+
+// SanitizeRequestID validates a client-supplied trace ID: letters, digits,
+// '.', '_' and '-', at most 64 bytes. Anything else returns "" and the
+// caller should mint a fresh ID — a hostile header must not be able to
+// inject log lines or unbounded label values.
+func SanitizeRequestID(s string) string {
+	if len(s) == 0 || len(s) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Capacity bounds the ring of recent finished traces; <= 0 means
+	// DefaultCapacity.
+	Capacity int
+	// Metrics, when set, receives the per-phase latency histograms
+	// (apex_phase_seconds) and the trace/slow-query counters.
+	Metrics *metrics.Registry
+	// SlowThreshold, when > 0, logs every trace at least this slow as one
+	// structured JSON line to SlowWriter.
+	SlowThreshold time.Duration
+	// SlowWriter receives slow-query log lines; nil means os.Stderr.
+	SlowWriter interface{ Write([]byte) (int, error) }
+}
+
+// DefaultCapacity is the default trace-ring size.
+const DefaultCapacity = 256
+
+// Tracer records request traces into a bounded ring and fans span
+// durations into phase histograms. A nil *Tracer is valid and records
+// nothing.
+type Tracer struct {
+	capacity int
+	registry *metrics.Registry
+	slow     *slowLog
+
+	// phase maps phase name → histogram, copy-on-write: reads are one
+	// atomic load (observePhase runs several times per request), writes
+	// copy the map under phaseMu. The vocabulary is small and fixed, so
+	// writes stop after warmup.
+	phase   atomic.Pointer[map[string]*metrics.Histogram]
+	phaseMu sync.Mutex
+
+	traces *metrics.Counter // nil when Metrics is unset
+	slowN  *metrics.Counter // idem
+
+	ringMu sync.Mutex
+	ring   []TraceView // circular, next is the write position
+	next   int
+	filled bool
+}
+
+// New builds a Tracer.
+func New(cfg Config) *Tracer {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{
+		capacity: capacity,
+		registry: cfg.Metrics,
+		ring:     make([]TraceView, capacity),
+	}
+	empty := map[string]*metrics.Histogram{}
+	t.phase.Store(&empty)
+	if cfg.SlowThreshold > 0 {
+		t.slow = newSlowLog(cfg.SlowThreshold, cfg.SlowWriter)
+	}
+	if cfg.Metrics != nil {
+		t.traces = cfg.Metrics.Counter("apex_traces_recorded_total",
+			"Finished request traces recorded into the debug ring.")
+		t.slowN = cfg.Metrics.Counter("apex_slow_queries_total",
+			"Traces at or above the slow-query threshold.")
+	}
+	return t
+}
+
+// phaseBuckets is the latency histogram shape for every pipeline phase:
+// 10µs up to 100s, exponential.
+var phaseBuckets = metrics.ExpBuckets(1e-5, 10, 8)
+
+// observePhase records one finished span's duration into
+// apex_phase_seconds{phase=name}. Phase names form a small fixed
+// vocabulary (queue, prepare, translate, scan, execute, commit,
+// wal_flush, total), so label cardinality stays bounded.
+func (t *Tracer) observePhase(name string, d time.Duration) {
+	if t == nil || t.registry == nil {
+		return
+	}
+	h, ok := (*t.phase.Load())[name]
+	if !ok {
+		t.phaseMu.Lock()
+		old := *t.phase.Load()
+		if h, ok = old[name]; !ok {
+			h = t.registry.Histogram("apex_phase_seconds",
+				"Per-request latency by pipeline phase.",
+				phaseBuckets, metrics.L("phase", name))
+			next := make(map[string]*metrics.Histogram, len(old)+1)
+			for k, v := range old {
+				next[k] = v
+			}
+			next[name] = h
+			t.phase.Store(&next)
+		}
+		t.phaseMu.Unlock()
+	}
+	h.Observe(d.Seconds())
+}
+
+// Start begins a trace with the given ID and root-span name, returning a
+// context that carries it. On a nil Tracer it returns ctx unchanged and a
+// nil Trace (safe to Tag and Finish).
+func (t *Tracer) Start(ctx context.Context, id, name string) (context.Context, *Trace) {
+	if t == nil {
+		return ctx, nil
+	}
+	now := time.Now()
+	tr := &Trace{tracer: t, id: id, start: now}
+	tr.root = &Span{trace: tr, name: name, start: now}
+	return context.WithValue(ctx, spanKey, tr.root), tr
+}
+
+// Trace is one request's span tree, mutated under its own lock (the
+// handler and a scheduler worker both touch it).
+type Trace struct {
+	tracer *Tracer
+	id     string
+	start  time.Time
+
+	mu       sync.Mutex
+	root     *Span
+	tags     map[string]string
+	finished bool
+}
+
+// ID returns the trace ID ("" on nil).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// Tag attaches a string tag to the trace (dataset, session, status, ...).
+// Tags are what the debug endpoint's filters match on.
+func (tr *Trace) Tag(key, value string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.finished {
+		return
+	}
+	if tr.tags == nil {
+		tr.tags = make(map[string]string, 4)
+	}
+	tr.tags[key] = value
+}
+
+// Finish ends the root span, renders the trace, pushes it into the ring,
+// observes the "total" phase histogram and emits a slow-query line if the
+// trace met the threshold. Finish is idempotent; later Finish calls and
+// span mutations are ignored.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	if tr.root.end.IsZero() {
+		tr.root.end = now
+	}
+	view := tr.renderLocked()
+	tr.mu.Unlock()
+
+	t := tr.tracer
+	t.observePhase("total", time.Duration(view.DurationUS)*time.Microsecond)
+	if t.traces != nil {
+		t.traces.Inc()
+	}
+	t.ringMu.Lock()
+	t.ring[t.next] = view
+	t.next++
+	if t.next == t.capacity {
+		t.next = 0
+		t.filled = true
+	}
+	t.ringMu.Unlock()
+	if t.slow != nil && t.slow.log(&view) && t.slowN != nil {
+		t.slowN.Inc()
+	}
+}
+
+// FromContext returns the trace whose span tree ctx is inside, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if sp, ok := ctx.Value(spanKey).(*Span); ok {
+		return sp.trace
+	}
+	return nil
+}
+
+// Span is one timed phase inside a trace. A nil *Span (what StartSpan
+// hands back outside any trace) accepts every method as a no-op.
+type Span struct {
+	trace    *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span. Values must be JSON-
+// marshalable basics (string, numbers, bool).
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// StartSpan opens a child span under the context's current span and
+// returns a context in which it is current (so further StartSpan calls
+// nest). Outside a trace it returns ctx unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, ok := ctx.Value(spanKey).(*Span)
+	if !ok {
+		return ctx, nil
+	}
+	sp := parent.trace.newSpan(parent, name, time.Now(), time.Time{})
+	if sp == nil {
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// RecordSpan records an already-elapsed interval as a child of the
+// context's current span — the retroactive form used for queue wait
+// (whose start predates dispatch) and for the shared batch scan. The
+// span's phase histogram is observed immediately.
+func RecordSpan(ctx context.Context, name string, start, end time.Time) *Span {
+	parent, ok := ctx.Value(spanKey).(*Span)
+	if !ok {
+		return nil
+	}
+	sp := parent.trace.newSpan(parent, name, start, end)
+	if sp != nil {
+		parent.trace.tracer.observePhase(name, end.Sub(start))
+	}
+	return sp
+}
+
+// newSpan appends a child under parent; nil once the trace has finished.
+func (tr *Trace) newSpan(parent *Span, name string, start, end time.Time) *Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.finished {
+		return nil
+	}
+	sp := &Span{trace: tr, name: name, start: start, end: end}
+	parent.children = append(parent.children, sp)
+	return sp
+}
+
+// Set annotates the span.
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	if s.trace.finished {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span and observes its phase histogram. End is
+// idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.trace.mu.Lock()
+	if s.trace.finished || !s.end.IsZero() {
+		s.trace.mu.Unlock()
+		return
+	}
+	s.end = now
+	d := s.end.Sub(s.start)
+	name := s.name
+	tracer := s.trace.tracer
+	s.trace.mu.Unlock()
+	tracer.observePhase(name, d)
+}
+
+// TraceView is the rendered, immutable form of a finished trace — what
+// the ring stores and the debug endpoint serves.
+type TraceView struct {
+	ID         string            `json:"id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Tags       map[string]string `json:"tags,omitempty"`
+	Spans      []SpanView        `json:"spans,omitempty"`
+}
+
+// SpanView is one rendered span: offset from the trace start plus
+// duration, both in microseconds, with nested children.
+type SpanView struct {
+	Name       string         `json:"name"`
+	OffsetUS   int64          `json:"offset_us"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Spans      []SpanView     `json:"spans,omitempty"`
+}
+
+// renderLocked renders the trace; caller holds tr.mu.
+func (tr *Trace) renderLocked() TraceView {
+	v := TraceView{
+		ID:         tr.id,
+		Name:       tr.root.name,
+		Start:      tr.start.UTC(),
+		DurationUS: tr.root.end.Sub(tr.root.start).Microseconds(),
+		Spans:      renderChildren(tr.root, tr.start, tr.root.end),
+	}
+	if len(tr.tags) > 0 {
+		v.Tags = make(map[string]string, len(tr.tags))
+		for k, val := range tr.tags {
+			v.Tags[k] = val
+		}
+	}
+	return v
+}
+
+func renderChildren(parent *Span, traceStart, traceEnd time.Time) []SpanView {
+	if len(parent.children) == 0 {
+		return nil
+	}
+	out := make([]SpanView, 0, len(parent.children))
+	for _, sp := range parent.children {
+		end := sp.end
+		if end.IsZero() {
+			// A span left open when the trace finished: clamp to the
+			// trace end so durations stay consistent.
+			end = traceEnd
+		}
+		sv := SpanView{
+			Name:       sp.name,
+			OffsetUS:   sp.start.Sub(traceStart).Microseconds(),
+			DurationUS: end.Sub(sp.start).Microseconds(),
+			Spans:      renderChildren(sp, traceStart, traceEnd),
+		}
+		if len(sp.attrs) > 0 {
+			sv.Attrs = make(map[string]any, len(sp.attrs))
+			for _, a := range sp.attrs {
+				sv.Attrs[a.Key] = a.Value
+			}
+		}
+		out = append(out, sv)
+	}
+	return out
+}
+
+// Filter selects traces from the ring. Zero fields match everything.
+type Filter struct {
+	// Dataset and Session match the trace's "dataset"/"session" tags.
+	Dataset, Session string
+	// MinDuration drops traces faster than this.
+	MinDuration time.Duration
+	// Limit caps the result count; <= 0 means no cap.
+	Limit int
+}
+
+// Traces returns the ring's finished traces, newest first, filtered.
+func (t *Tracer) Traces(f Filter) []TraceView {
+	if t == nil {
+		return nil
+	}
+	t.ringMu.Lock()
+	n := t.next
+	if t.filled {
+		n = t.capacity
+	}
+	// Snapshot newest-first: entries just before t.next are newest.
+	views := make([]TraceView, 0, n)
+	for i := 0; i < n; i++ {
+		idx := t.next - 1 - i
+		if idx < 0 {
+			idx += t.capacity
+		}
+		views = append(views, t.ring[idx])
+	}
+	t.ringMu.Unlock()
+
+	out := views[:0]
+	minUS := f.MinDuration.Microseconds()
+	for _, v := range views {
+		if v.DurationUS < minUS {
+			continue
+		}
+		if f.Dataset != "" && v.Tags["dataset"] != f.Dataset {
+			continue
+		}
+		if f.Session != "" && v.Tags["session"] != f.Session {
+			continue
+		}
+		out = append(out, v)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID = %q, want abc123", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on bare ctx = %q, want empty", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("ids %q %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two NewRequestID calls returned the same id %q", a)
+	}
+	if SanitizeRequestID(a) != a {
+		t.Fatalf("generated id %q does not pass its own sanitizer", a)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-DEF_1.2", "abc-DEF_1.2"},
+		{"", ""},
+		{"has space", ""},
+		{"semi;colon", ""},
+		{"newline\n", ""},
+		{"ünïcode", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeRequestID(c.in); got != c.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	ctx, trace := tr.Start(context.Background(), "id", "query")
+	if trace != nil {
+		t.Fatalf("nil tracer Start returned non-nil trace")
+	}
+	trace.Tag("k", "v") // must not panic
+	trace.Finish()
+	if trace.ID() != "" {
+		t.Fatalf("nil trace ID = %q", trace.ID())
+	}
+	ctx2, sp := StartSpan(ctx, "child")
+	if sp != nil {
+		t.Fatalf("StartSpan outside a trace returned non-nil span")
+	}
+	sp.Set("k", 1)
+	sp.End()
+	if RecordSpan(ctx2, "x", time.Now(), time.Now()) != nil {
+		t.Fatalf("RecordSpan outside a trace returned non-nil span")
+	}
+	if got := tr.Traces(Filter{}); got != nil {
+		t.Fatalf("nil tracer Traces = %v", got)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tracer := New(Config{Capacity: 8})
+	ctx, trace := tracer.Start(context.Background(), "t1", "query")
+	trace.Tag("dataset", "adult")
+	trace.Tag("session", "s1")
+
+	ctx2, prep := StartSpan(ctx, "prepare")
+	_, tl := StartSpan(ctx2, "translate")
+	tl.Set("iterations", 3)
+	tl.End()
+	prep.End()
+
+	_, ex := StartSpan(ctx, "execute")
+	ex.End()
+	RecordSpan(ctx, "queue", trace.start.Add(-time.Millisecond), trace.start)
+	trace.Finish()
+
+	views := tracer.Traces(Filter{})
+	if len(views) != 1 {
+		t.Fatalf("got %d traces, want 1", len(views))
+	}
+	v := views[0]
+	if v.ID != "t1" || v.Name != "query" {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Tags["dataset"] != "adult" || v.Tags["session"] != "s1" {
+		t.Fatalf("tags = %v", v.Tags)
+	}
+	names := make(map[string]SpanView)
+	for _, sp := range v.Spans {
+		names[sp.Name] = sp
+	}
+	if len(names) != 3 {
+		t.Fatalf("top-level spans = %v", v.Spans)
+	}
+	prepV := names["prepare"]
+	if len(prepV.Spans) != 1 || prepV.Spans[0].Name != "translate" {
+		t.Fatalf("prepare children = %+v", prepV.Spans)
+	}
+	if got := prepV.Spans[0].Attrs["iterations"]; got != 3 {
+		// JSON round-trips would make this float64, but in-memory views
+		// keep the original value.
+		t.Fatalf("translate attrs = %v", prepV.Spans[0].Attrs)
+	}
+	// Children nest within the trace bounds.
+	for _, sp := range []SpanView{names["prepare"], names["execute"]} {
+		if sp.OffsetUS < 0 || sp.OffsetUS+sp.DurationUS > v.DurationUS+1 {
+			t.Errorf("span %s [%d +%d] escapes trace duration %d",
+				sp.Name, sp.OffsetUS, sp.DurationUS, v.DurationUS)
+		}
+	}
+	q := names["queue"]
+	if q.OffsetUS > 0 {
+		t.Errorf("retroactive queue span offset %d, want <= 0", q.OffsetUS)
+	}
+	if q.DurationUS < 900 {
+		t.Errorf("queue span duration %dus, want ~1000", q.DurationUS)
+	}
+}
+
+func TestFinishIdempotentAndLateMutationIgnored(t *testing.T) {
+	tracer := New(Config{Capacity: 4})
+	ctx, trace := tracer.Start(context.Background(), "t1", "query")
+	trace.Finish()
+	trace.Finish()
+	trace.Tag("k", "late")
+	if _, sp := StartSpan(ctx, "late"); sp != nil {
+		t.Fatalf("StartSpan after Finish returned a live span")
+	}
+	views := tracer.Traces(Filter{})
+	if len(views) != 1 {
+		t.Fatalf("got %d traces after double Finish, want 1", len(views))
+	}
+	if _, ok := views[0].Tags["k"]; ok {
+		t.Fatalf("late Tag leaked into finished view: %v", views[0].Tags)
+	}
+}
+
+func TestRingEvictionAndOrder(t *testing.T) {
+	tracer := New(Config{Capacity: 3})
+	for i := 0; i < 5; i++ {
+		_, trace := tracer.Start(context.Background(), fmt.Sprintf("t%d", i), "query")
+		trace.Finish()
+	}
+	views := tracer.Traces(Filter{})
+	if len(views) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(views))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if views[i].ID != want {
+			t.Fatalf("views[%d].ID = %q, want %q (newest first)", i, views[i].ID, want)
+		}
+	}
+}
+
+func TestTraceFilters(t *testing.T) {
+	tracer := New(Config{Capacity: 16})
+	mk := func(id, ds, sess string, d time.Duration) {
+		_, trace := tracer.Start(context.Background(), id, "query")
+		trace.Tag("dataset", ds)
+		trace.Tag("session", sess)
+		trace.mu.Lock()
+		trace.root.end = trace.root.start.Add(d)
+		trace.mu.Unlock()
+		trace.Finish()
+	}
+	mk("a", "adult", "s1", 5*time.Millisecond)
+	mk("b", "adult", "s2", 50*time.Millisecond)
+	mk("c", "census", "s1", 500*time.Millisecond)
+
+	if got := tracer.Traces(Filter{Dataset: "adult"}); len(got) != 2 {
+		t.Fatalf("dataset filter: %d, want 2", len(got))
+	}
+	if got := tracer.Traces(Filter{Session: "s1"}); len(got) != 2 {
+		t.Fatalf("session filter: %d, want 2", len(got))
+	}
+	if got := tracer.Traces(Filter{MinDuration: 20 * time.Millisecond}); len(got) != 2 {
+		t.Fatalf("min-duration filter: %d, want 2", len(got))
+	}
+	got := tracer.Traces(Filter{Dataset: "adult", Session: "s1"})
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("combined filter: %+v", got)
+	}
+	if got := tracer.Traces(Filter{Limit: 1}); len(got) != 1 || got[0].ID != "c" {
+		t.Fatalf("limit filter: %+v", got)
+	}
+}
+
+func TestPhaseHistograms(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tracer := New(Config{Capacity: 4, Metrics: reg})
+	ctx, trace := tracer.Start(context.Background(), "t1", "query")
+	_, sp := StartSpan(ctx, "prepare")
+	sp.End()
+	RecordSpan(ctx, "queue", time.Now().Add(-time.Millisecond), time.Now())
+	trace.Finish()
+
+	text := reg.Render()
+	for _, want := range []string{
+		`apex_phase_seconds_count{phase="prepare"} 1`,
+		`apex_phase_seconds_count{phase="queue"} 1`,
+		`apex_phase_seconds_count{phase="total"} 1`,
+		`apex_traces_recorded_total 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	reg := metrics.NewRegistry()
+	tracer := New(Config{Capacity: 4, Metrics: reg, SlowThreshold: 10 * time.Millisecond, SlowWriter: &buf})
+
+	// Fast trace: no line.
+	_, fast := tracer.Start(context.Background(), "fast", "query")
+	fast.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %s", buf.String())
+	}
+
+	// Slow trace: one JSON line with phases.
+	ctx, slow := tracer.Start(context.Background(), "slowid", "query")
+	slow.Tag("dataset", "adult")
+	slow.Tag("session", "s9")
+	_, sp := StartSpan(ctx, "execute")
+	sp.End()
+	slow.mu.Lock()
+	slow.root.end = slow.root.start.Add(25 * time.Millisecond)
+	slow.mu.Unlock()
+	slow.Finish()
+
+	line := buf.String()
+	if line == "" {
+		t.Fatal("slow trace produced no log line")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(line), &parsed); err != nil {
+		t.Fatalf("slow log line is not JSON: %v\n%s", err, line)
+	}
+	if parsed["trace"] != "slowid" || parsed["dataset"] != "adult" || parsed["session"] != "s9" {
+		t.Fatalf("slow line = %v", parsed)
+	}
+	if ms, _ := parsed["duration_ms"].(float64); ms < 20 {
+		t.Fatalf("duration_ms = %v, want >= 20", parsed["duration_ms"])
+	}
+	if th, _ := parsed["threshold_ms"].(float64); th != 10 {
+		t.Fatalf("threshold_ms = %v, want 10", parsed["threshold_ms"])
+	}
+	phases, _ := parsed["phases_ms"].(map[string]any)
+	if _, ok := phases["execute"]; !ok {
+		t.Fatalf("phases_ms = %v, want execute", phases)
+	}
+	if !strings.Contains(reg.Render(), "apex_slow_queries_total 1") {
+		t.Fatalf("slow counter missing:\n%s", reg.Render())
+	}
+}
+
+func TestConcurrentSpansRaceFree(t *testing.T) {
+	tracer := New(Config{Capacity: 32, Metrics: metrics.NewRegistry()})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, trace := tracer.Start(context.Background(), fmt.Sprintf("t%d", i), "query")
+			trace.Tag("dataset", "d")
+			var inner sync.WaitGroup
+			for j := 0; j < 4; j++ {
+				inner.Add(1)
+				go func(j int) {
+					defer inner.Done()
+					c2, sp := StartSpan(ctx, "execute")
+					sp.Set("j", j)
+					RecordSpan(c2, "queue", time.Now(), time.Now())
+					sp.End()
+				}(j)
+			}
+			inner.Wait()
+			trace.Finish()
+			tracer.Traces(Filter{Dataset: "d", Limit: 4})
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tracer.Traces(Filter{})); got != 8 {
+		t.Fatalf("got %d traces, want 8", got)
+	}
+}
+
+func TestRuntimeMetricsAndDebugHandler(t *testing.T) {
+	reg := metrics.NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	text := reg.Render()
+	for _, want := range []string{"apex_goroutines ", "apex_heap_alloc_bytes ", "apex_gc_cycles_total "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+	if DebugHandler(reg) == nil {
+		t.Fatal("DebugHandler returned nil")
+	}
+}
+
+func TestSpanViewJSONShape(t *testing.T) {
+	tracer := New(Config{Capacity: 2})
+	ctx, trace := tracer.Start(context.Background(), "t1", "query")
+	_, sp := StartSpan(ctx, "prepare")
+	sp.Set("cache_hit", true)
+	sp.End()
+	trace.Finish()
+	b, err := json.Marshal(tracer.Traces(Filter{})[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"id":"t1"`, `"duration_us"`, `"name":"prepare"`, `"cache_hit":true`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q: %s", want, s)
+		}
+	}
+}

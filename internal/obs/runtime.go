@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+
+	"repro/internal/metrics"
+)
+
+// RegisterRuntimeMetrics adds Go runtime gauges to reg, refreshed on
+// every scrape: goroutine count, heap usage, GC pause totals. They ride
+// the same /metrics exposition as the engine's own families.
+func RegisterRuntimeMetrics(reg *metrics.Registry) {
+	goroutines := reg.Gauge("apex_goroutines",
+		"Current number of goroutines.")
+	heapAlloc := reg.Gauge("apex_heap_alloc_bytes",
+		"Bytes of allocated heap objects.")
+	heapSys := reg.Gauge("apex_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.")
+	heapObjects := reg.Gauge("apex_heap_objects",
+		"Number of allocated heap objects.")
+	gcPause := reg.Gauge("apex_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time.")
+	gcCycles := reg.Gauge("apex_gc_cycles_total",
+		"Completed GC cycles.")
+	reg.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		heapObjects.Set(float64(ms.HeapObjects))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		gcCycles.Set(float64(ms.NumGC))
+	})
+}
+
+// DebugHandler serves the opt-in debug listener: net/http/pprof under
+// /debug/pprof/ plus the metrics exposition at /metrics (so a profiling
+// host sees runtime gauges without touching the public listener). The
+// pprof handlers are mounted explicitly on a private mux — importing
+// net/http/pprof also registers on http.DefaultServeMux, which this
+// server never serves.
+func DebugHandler(reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// slowLog emits one structured JSON line per trace at or above its
+// threshold. Lines are self-contained: trace ID, dataset/session/query
+// tags, total duration, the threshold that tripped, and a flat map of
+// top-level phase durations — enough to see where the time went without
+// fetching the full trace, and carrying the ID to fetch it when needed.
+type slowLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	w         io.Writer
+}
+
+func newSlowLog(threshold time.Duration, w interface{ Write([]byte) (int, error) }) *slowLog {
+	if w == nil {
+		w = os.Stderr
+	}
+	return &slowLog{threshold: threshold, w: w}
+}
+
+// slowLine is the JSON shape of one slow-query log line.
+type slowLine struct {
+	Time        time.Time          `json:"time"`
+	Level       string             `json:"level"`
+	Msg         string             `json:"msg"`
+	Trace       string             `json:"trace"`
+	Name        string             `json:"name"`
+	Dataset     string             `json:"dataset,omitempty"`
+	Session     string             `json:"session,omitempty"`
+	Query       string             `json:"query,omitempty"`
+	Status      string             `json:"status,omitempty"`
+	DurationMS  float64            `json:"duration_ms"`
+	ThresholdMS float64            `json:"threshold_ms"`
+	PhasesMS    map[string]float64 `json:"phases_ms,omitempty"`
+}
+
+// log emits v if it is slow enough, reporting whether it did.
+func (l *slowLog) log(v *TraceView) bool {
+	d := time.Duration(v.DurationUS) * time.Microsecond
+	if d < l.threshold {
+		return false
+	}
+	line := slowLine{
+		Time:        time.Now().UTC(),
+		Level:       "warn",
+		Msg:         "slow query",
+		Trace:       v.ID,
+		Name:        v.Name,
+		Dataset:     v.Tags["dataset"],
+		Session:     v.Tags["session"],
+		Query:       v.Tags["query"],
+		Status:      v.Tags["status"],
+		DurationMS:  float64(v.DurationUS) / 1e3,
+		ThresholdMS: float64(l.threshold.Microseconds()) / 1e3,
+	}
+	if len(v.Spans) > 0 {
+		line.PhasesMS = make(map[string]float64, len(v.Spans))
+		for _, sp := range v.Spans {
+			flattenPhases(line.PhasesMS, sp)
+		}
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return false
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	l.w.Write(b)
+	l.mu.Unlock()
+	return true
+}
+
+// flattenPhases sums span durations by name across the tree, so repeated
+// phases (two WAL flush waits after a retry) aggregate into one number.
+func flattenPhases(out map[string]float64, sp SpanView) {
+	out[sp.Name] += float64(sp.DurationUS) / 1e3
+	for _, c := range sp.Spans {
+		flattenPhases(out, c)
+	}
+}

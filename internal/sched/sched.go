@@ -40,6 +40,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/workload"
 )
@@ -157,6 +158,22 @@ func New(cfg Config) *Scheduler {
 
 // RetryAfter returns the backoff hint for queue-full rejections.
 func (s *Scheduler) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// QueueDepth returns the number of admitted-but-undispatched requests on
+// one dataset's queue — the number a 429 body reports so a backing-off
+// client can judge how congested the dataset is. Unknown datasets (no
+// queue yet) report 0.
+func (s *Scheduler) QueueDepth(dataset string) int {
+	s.mu.Lock()
+	dq := s.queues[dataset]
+	s.mu.Unlock()
+	if dq == nil {
+		return 0
+	}
+	dq.mu.Lock()
+	defer dq.mu.Unlock()
+	return dq.pending
+}
 
 // request is one queued query plus its completion channel.
 type request struct {
@@ -444,7 +461,15 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 	}
 	var flights []flight
 	groups := make(map[*workload.TransformCache]*group)
+	dispatched := time.Now()
 	for _, req := range batch {
+		// The queue span is retroactive: its interval elapsed before any
+		// worker touched the request, so it is recorded at dispatch onto
+		// the request's trace (whose root span has been open since the
+		// HTTP handler admitted it).
+		if sp := obs.RecordSpan(req.ctx, "queue", req.enqueued, dispatched); sp != nil {
+			sp.Set("batch_size", len(batch))
+		}
 		if err := req.ctx.Err(); err != nil {
 			req.done <- result{err: err}
 			s.countOutcome(d, "canceled")
@@ -480,10 +505,24 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 	// transformation cache and one table; group defensively anyway so a
 	// mixed batch can never warm through the wrong cache. Prefetch first:
 	// an mmap-backed table tells the kernel to start faulting its column
-	// pages in before the scan reads them (a no-op for heap tables).
+	// pages in before the scan reads them (a no-op for heap tables). The
+	// pass is shared, so its span lands on every flight's trace with the
+	// membership that explains the shared duration.
+	scanStart := time.Now()
+	var warmed int
 	for c, g := range groups {
 		g.table.Prefetch()
 		c.EvaluateBatch(g.table, g.items)
+		warmed += len(g.items)
+	}
+	if warmed > 0 {
+		scanEnd := time.Now()
+		for _, f := range flights {
+			if sp := obs.RecordSpan(f.req.ctx, "scan", scanStart, scanEnd); sp != nil {
+				sp.Set("batch_size", len(flights))
+				sp.Set("warmed", warmed)
+			}
+		}
 	}
 
 	// Phase 3: execute and commit each plan in batch order. Mechanisms
@@ -499,7 +538,7 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 			f.req.done <- result{err: err}
 			continue
 		}
-		out := f.req.eng.Execute(f.plan)
+		out := f.req.eng.Execute(f.req.ctx, f.plan)
 		if err := f.req.ctx.Err(); err != nil {
 			// Canceled while the mechanism ran: the caller is gone and
 			// the noisy result has reached no one, so discarding it
@@ -512,7 +551,7 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 			f.req.done <- result{err: err}
 			continue
 		}
-		ans, err := f.req.eng.Commit(f.plan, out)
+		ans, err := f.req.eng.Commit(f.req.ctx, f.plan, out)
 		if ans != nil {
 			s.observeAnswer(d, ans, out.Elapsed)
 		}

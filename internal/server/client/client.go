@@ -57,10 +57,22 @@ type APIError struct {
 	// RetryAfter is the server's backoff hint on 429 replies (zero when
 	// absent).
 	RetryAfter time.Duration
+	// TraceID is the failed request's trace ID (from the error body or
+	// the X-Request-ID response header) — the value to quote to an
+	// operator, who can grep the slow-query log or fetch
+	// /v1/debug/traces with it. Under a RetryPolicy it identifies the
+	// final failed attempt.
+	TraceID string
+	// QueueDepth is the dataset's queue depth reported on 429 replies
+	// (zero when absent).
+	QueueDepth int
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("server: %s (%s, HTTP %d, trace %s)", e.Message, e.Code, e.StatusCode, e.TraceID)
+	}
 	return fmt.Sprintf("server: %s (%s, HTTP %d)", e.Message, e.Code, e.StatusCode)
 }
 
@@ -119,10 +131,59 @@ func (c *Client) CloseSession(id string) error {
 // Query submits one query in the paper's text syntax. A denial is not an
 // error: check QueryResponse.Denied.
 func (c *Client) Query(sessionID, queryText string) (*server.QueryResponse, error) {
+	return c.QueryWithRequestID(sessionID, queryText, "")
+}
+
+// QueryWithRequestID is Query with a caller-chosen trace ID sent as
+// X-Request-ID, so the caller's own logs and the server's traces,
+// transcript entries and slow-query lines share one correlation key. An
+// empty requestID lets the server mint one (returned in
+// QueryResponse.TraceID either way). IDs are restricted to
+// [A-Za-z0-9._-], max 64 bytes; the server replaces anything else.
+func (c *Client) QueryWithRequestID(sessionID, queryText, requestID string) (*server.QueryResponse, error) {
+	var hdr http.Header
+	if requestID != "" {
+		hdr = http.Header{"X-Request-Id": []string{requestID}}
+	}
 	var out server.QueryResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/query",
-		server.QueryRequest{Query: queryText}, &out)
+	err := c.doHeaders(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/query",
+		hdr, server.QueryRequest{Query: queryText}, &out)
 	return &out, err
+}
+
+// Audit fetches the dataset's budget spend timeline: every live session's
+// transcript merged chronologically, each event carrying the trace ID of
+// the request that committed it.
+func (c *Client) Audit(dataset string) (*server.AuditResponse, error) {
+	var out server.AuditResponse
+	return &out, c.do(http.MethodGet, "/v1/datasets/"+url.PathEscape(dataset)+"/audit", nil, &out)
+}
+
+// Traces fetches recent request traces from the server's debug ring,
+// newest first. Zero-valued filters are omitted.
+func (c *Client) Traces(dataset, session string, minDuration time.Duration, limit int) ([]server.TraceView, error) {
+	q := url.Values{}
+	if dataset != "" {
+		q.Set("dataset", dataset)
+	}
+	if session != "" {
+		q.Set("session", session)
+	}
+	if minDuration > 0 {
+		q.Set("min_duration", minDuration.String())
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/debug/traces"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out server.TracesResponse
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
 }
 
 // Transcript fetches the session's full audit transcript.
@@ -143,6 +204,10 @@ func (c *Client) TranscriptSince(sessionID string, since int) (*server.Transcrip
 }
 
 func (c *Client) do(method, path string, in, out any) error {
+	return c.doHeaders(method, path, nil, in, out)
+}
+
+func (c *Client) doHeaders(method, path string, hdr http.Header, in, out any) error {
 	var encoded []byte
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -151,12 +216,14 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		encoded = b
 	}
-	err := c.doOnce(method, path, encoded, out)
+	err := c.doOnce(method, path, hdr, encoded, out)
 	if c.Retry == nil {
 		return err
 	}
 	// Bounded exponential backoff, 429-only: a queue-full rejection means
 	// the request was never admitted, so a retry can never double-charge.
+	// On exhaustion the returned APIError is the final attempt's, carrying
+	// that attempt's trace ID.
 	delay := c.Retry.BaseDelay
 	if delay <= 0 {
 		delay = 100 * time.Millisecond
@@ -177,12 +244,12 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		sleep(wait)
 		delay *= 2
-		err = c.doOnce(method, path, encoded, out)
+		err = c.doOnce(method, path, hdr, encoded, out)
 	}
 	return err
 }
 
-func (c *Client) doOnce(method, path string, encoded []byte, out any) error {
+func (c *Client) doOnce(method, path string, hdr http.Header, encoded []byte, out any) error {
 	var body io.Reader
 	if encoded != nil {
 		body = bytes.NewReader(encoded)
@@ -190,6 +257,9 @@ func (c *Client) doOnce(method, path string, encoded []byte, out any) error {
 	req, err := http.NewRequest(method, c.BaseURL+path, body)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if encoded != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -208,10 +278,21 @@ func (c *Client) doOnce(method, path string, encoded []byte, out any) error {
 		return fmt.Errorf("client: read response: %w", err)
 	}
 	if resp.StatusCode/100 != 2 {
-		ae := &APIError{StatusCode: resp.StatusCode, Code: "unknown", Message: string(data)}
+		ae := &APIError{
+			StatusCode: resp.StatusCode,
+			Code:       "unknown",
+			Message:    string(data),
+			TraceID:    resp.Header.Get("X-Request-Id"),
+		}
 		var e server.ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			ae.Code, ae.Message = e.Code, e.Error
+			if e.TraceID != "" {
+				ae.TraceID = e.TraceID
+			}
+			if e.QueueDepth != nil {
+				ae.QueueDepth = *e.QueueDepth
+			}
 		}
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			ae.RetryAfter = time.Duration(secs) * time.Second

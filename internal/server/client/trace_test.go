@@ -1,0 +1,92 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// tracedRejector always replies 429, stamping a distinct per-attempt
+// trace ID into both the X-Request-ID header and the JSON body, the way
+// the real server does.
+func tracedRejector(t *testing.T) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	depth := 3
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		rid := fmt.Sprintf("attempt-%d", n)
+		w.Header().Set("X-Request-Id", rid)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(server.ErrorResponse{
+			Error:             "dataset queue is full",
+			Code:              server.CodeQueueFull,
+			TraceID:           rid,
+			QueueDepth:        &depth,
+			RetryAfterSeconds: 1,
+		})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+// TestRetryExhaustionSurfacesFinalTraceID: when a RetryPolicy gives up,
+// the returned APIError must identify the final failed attempt — its
+// trace ID is the one an operator can actually find in the server's
+// traces and logs — and print it in Error().
+func TestRetryExhaustionSurfacesFinalTraceID(t *testing.T) {
+	srv, calls := tracedRejector(t)
+	c := New(srv.URL)
+	c.Retry = &RetryPolicy{
+		MaxRetries: 3,
+		BaseDelay:  time.Millisecond,
+		sleep:      func(time.Duration) {},
+	}
+	_, err := c.Query("sess", "whatever")
+	if err == nil {
+		t.Fatal("want error after retry exhaustion")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server called %d times, want 4 (1 try + 3 retries)", got)
+	}
+	var ae *APIError
+	if !asAPIError(err, &ae) {
+		t.Fatalf("error %T is not an APIError", err)
+	}
+	if ae.TraceID != "attempt-4" {
+		t.Fatalf("APIError.TraceID = %q, want the final attempt's %q", ae.TraceID, "attempt-4")
+	}
+	if ae.QueueDepth != 3 {
+		t.Fatalf("APIError.QueueDepth = %d, want 3 from the body", ae.QueueDepth)
+	}
+	if msg := ae.Error(); !strings.Contains(msg, "trace attempt-4") {
+		t.Fatalf("Error() = %q does not quote the trace ID", msg)
+	}
+}
+
+// TestTraceIDFromHeaderOnly: an error reply whose body omits the trace
+// ID (or is not JSON at all) still yields the ID from the X-Request-ID
+// response header.
+func TestTraceIDFromHeaderOnly(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-Id", "hdr-only-1")
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	_, err := New(srv.URL).Query("sess", "whatever")
+	var ae *APIError
+	if !asAPIError(err, &ae) {
+		t.Fatalf("error %T is not an APIError", err)
+	}
+	if ae.TraceID != "hdr-only-1" {
+		t.Fatalf("APIError.TraceID = %q, want header fallback %q", ae.TraceID, "hdr-only-1")
+	}
+}

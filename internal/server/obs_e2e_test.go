@@ -1,0 +1,400 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// newRawServer serves an already-built server, returning the raw
+// httptest.Server so tests can assert on wire-level bodies and headers.
+func newRawServer(t *testing.T, srv *server.Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// newRawTestServer is newRawServer over a default-config server.
+func newRawTestServer(t *testing.T, reg *server.Registry) *httptest.Server {
+	t.Helper()
+	return newRawServer(t, server.New(reg, server.Config{}))
+}
+
+// TestTraceRoundTrip is the observability end-to-end: a caller-chosen
+// X-Request-ID must round-trip client → query response → transcript entry
+// → dataset audit view → /v1/debug/traces, and the recorded trace must
+// contain the pipeline phases (queue, prepare, execute, commit, wal_flush)
+// with durations that nest inside the root and a root that accounts for
+// the observed wall latency. Runs against a durable server so the WAL
+// flush wait is a real phase. Run with -race: span recording crosses the
+// handler, scheduler-worker and WAL goroutine boundaries.
+func TestTraceRoundTrip(t *testing.T) {
+	c, _, _, _ := startDurableServer(t, t.TempDir())
+	if _, err := c.AddDataset(server.AddDatasetRequest{
+		Name:   "people",
+		Schema: peopleSchema(t),
+		CSV:    peopleCSV(500, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rid = "e2e-trace-roundtrip.001"
+	start := time.Now()
+	resp, err := c.QueryWithRequestID(sess.ID, binQuery, rid)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Denied {
+		t.Fatalf("query denied: %s", resp.Reason)
+	}
+	if resp.TraceID != rid {
+		t.Fatalf("QueryResponse.TraceID = %q, want %q", resp.TraceID, rid)
+	}
+
+	// Transcript entry: same trace ID, plus a parseable commit timestamp.
+	tr, err := c.Transcript(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Entries) != 1 {
+		t.Fatalf("transcript has %d entries, want 1", len(tr.Entries))
+	}
+	ent := tr.Entries[0]
+	if ent.TraceID != rid {
+		t.Fatalf("transcript entry trace_id = %q, want %q", ent.TraceID, rid)
+	}
+	if ent.At == "" {
+		t.Fatal("transcript entry has no commit timestamp")
+	}
+	at, err := time.Parse(time.RFC3339Nano, ent.At)
+	if err != nil {
+		t.Fatalf("transcript at = %q: %v", ent.At, err)
+	}
+	if at.Before(start.Add(-time.Second)) || at.After(time.Now().Add(time.Second)) {
+		t.Fatalf("commit time %v outside the request window", at)
+	}
+
+	// Audit view: the dataset spend timeline attributes the charge to the
+	// same request.
+	audit, err := c.Audit("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Dataset != "people" || audit.Sessions != 1 || len(audit.Events) != 1 {
+		t.Fatalf("audit = %+v, want 1 session / 1 event", audit)
+	}
+	ev := audit.Events[0]
+	if ev.TraceID != rid || ev.Session != sess.ID {
+		t.Fatalf("audit event = %+v, want trace %q session %q", ev, rid, sess.ID)
+	}
+	if ev.Epsilon <= 0 || ev.Cumulative != ev.Epsilon {
+		t.Fatalf("audit event charge = %v cumulative %v, want positive and equal", ev.Epsilon, ev.Cumulative)
+	}
+	if audit.TotalSpent != ev.Cumulative {
+		t.Fatalf("audit total %v != cumulative %v", audit.TotalSpent, ev.Cumulative)
+	}
+
+	// Debug trace ring. The trace finishes after the response body is
+	// written, so poll briefly instead of racing the middleware.
+	var view *server.TraceView
+	deadline := time.Now().Add(2 * time.Second)
+	for view == nil {
+		views, err := c.Traces("people", sess.ID, 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range views {
+			if views[i].ID == rid {
+				view = &views[i]
+				break
+			}
+		}
+		if view == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("trace %q never appeared in /v1/debug/traces", rid)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if view.Tags["dataset"] != "people" || view.Tags["session"] != sess.ID {
+		t.Fatalf("trace tags = %v", view.Tags)
+	}
+	if view.Tags["status"] != "200" {
+		t.Fatalf("trace status tag = %q, want 200", view.Tags["status"])
+	}
+	if view.DurationUS <= 0 {
+		t.Fatalf("root duration %dus, want > 0", view.DurationUS)
+	}
+	// The root is the server-side request span; it cannot exceed the
+	// client-observed wall latency (which adds network and decode time).
+	if got := time.Duration(view.DurationUS) * time.Microsecond; got > wall+50*time.Millisecond {
+		t.Fatalf("root duration %v exceeds wall latency %v", got, wall)
+	}
+
+	// Every pipeline phase must be present, and every span (at any depth)
+	// must nest inside the root interval; children inside their parents.
+	phases := map[string]bool{}
+	var check func(parent *server.SpanView, sp server.SpanView)
+	check = func(parent *server.SpanView, sp server.SpanView) {
+		phases[sp.Name] = true
+		if sp.OffsetUS < 0 || sp.DurationUS < 0 {
+			t.Errorf("span %q has negative offset/duration: %+v", sp.Name, sp)
+		}
+		if sp.OffsetUS+sp.DurationUS > view.DurationUS {
+			t.Errorf("span %q [%d..%d]us escapes root [0..%d]us",
+				sp.Name, sp.OffsetUS, sp.OffsetUS+sp.DurationUS, view.DurationUS)
+		}
+		if parent != nil {
+			if sp.OffsetUS < parent.OffsetUS ||
+				sp.OffsetUS+sp.DurationUS > parent.OffsetUS+parent.DurationUS {
+				t.Errorf("span %q [%d..%d]us escapes parent %q [%d..%d]us",
+					sp.Name, sp.OffsetUS, sp.OffsetUS+sp.DurationUS,
+					parent.Name, parent.OffsetUS, parent.OffsetUS+parent.DurationUS)
+			}
+		}
+		for _, ch := range sp.Spans {
+			check(&sp, ch)
+		}
+	}
+	for _, sp := range view.Spans {
+		check(nil, sp)
+	}
+	for _, want := range []string{"queue", "prepare", "execute", "commit", "wal_flush"} {
+		if !phases[want] {
+			t.Errorf("trace has no %q span (saw %v)", want, phases)
+		}
+	}
+
+	// The min_duration filter excludes the trace when set above its
+	// duration and keeps it when set below.
+	views, err := c.Traces("people", "", time.Duration(view.DurationUS)*time.Microsecond+time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 0 {
+		t.Fatalf("min_duration filter returned %d traces, want 0", len(views))
+	}
+}
+
+// TestJSONErrorBodies404And405: the mux's built-in text replies for
+// unmatched routes are rewritten into the server's structured JSON error
+// shape, carrying the request's trace ID.
+func TestJSONErrorBodies404And405(t *testing.T) {
+	reg := server.NewRegistry()
+	ts := newRawTestServer(t, reg)
+
+	for _, tc := range []struct {
+		method, path string
+		status       int
+		code         string
+	}{
+		{http.MethodGet, "/no/such/endpoint", http.StatusNotFound, server.CodeNotFound},
+		{http.MethodDelete, "/v1/datasets", http.StatusMethodNotAllowed, server.CodeMethodNotAllowed},
+		{http.MethodPost, "/healthz", http.StatusMethodNotAllowed, server.CodeMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s %s: HTTP %d, want %d", tc.method, tc.path, resp.StatusCode, tc.status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s %s: Content-Type %q, want application/json", tc.method, tc.path, ct)
+		}
+		var e server.ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatalf("%s %s: body %q is not JSON: %v", tc.method, tc.path, body, err)
+		}
+		if e.Code != tc.code || e.Error == "" {
+			t.Fatalf("%s %s: body %+v, want code %q", tc.method, tc.path, e, tc.code)
+		}
+		hdrID := resp.Header.Get("X-Request-Id")
+		if hdrID == "" || e.TraceID != hdrID {
+			t.Fatalf("%s %s: trace_id %q vs header %q, want matching non-empty",
+				tc.method, tc.path, e.TraceID, hdrID)
+		}
+	}
+}
+
+// TestRequestIDSanitized: a hostile or malformed X-Request-ID is replaced
+// with a server-minted one rather than echoed into headers and logs.
+func TestRequestIDSanitized(t *testing.T) {
+	reg := server.NewRegistry()
+	ts := newRawTestServer(t, reg)
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bad = "evil id with spaces & <symbols> " + // and far over the 64-byte cap
+		"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+	req.Header.Set("X-Request-ID", bad)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	got := resp.Header.Get("X-Request-Id")
+	if got == "" || got == bad {
+		t.Fatalf("X-Request-ID echoed %q for a malformed input", got)
+	}
+	if !regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`).MatchString(got) {
+		t.Fatalf("server-minted request ID %q is not sanitized", got)
+	}
+}
+
+// Test429BodyCarriesQueueDepth: a backpressure rejection's JSON body must
+// carry, alongside the Retry-After header, the machine-readable backoff
+// hint and the dataset's queue depth, plus the trace ID — so a client can
+// judge congestion without parsing headers.
+func Test429BodyCarriesQueueDepth(t *testing.T) {
+	reg := server.NewRegistry()
+	table, err := dataset.ReadCSV(strings.NewReader(peopleCSV(100000, 1)), peopleSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("people", table); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(reg, server.Config{
+		Sched: sched.Config{QueueDepth: 1, MaxPerSession: 1, Workers: 1, RetryAfter: time.Second},
+	})
+	ts := newRawServer(t, srv)
+	c := client.New(ts.URL)
+
+	const analysts = 12
+	sessions := make([]string, analysts)
+	for i := range sessions {
+		sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = sess.ID
+	}
+	next := new(atomic.Int64)
+	distinctQuery := func() string {
+		n := next.Add(1)
+		var preds []string
+		for b := 0; b < 100; b += 5 {
+			preds = append(preds, fmt.Sprintf("age BETWEEN %d AND %d", b, b+5))
+		}
+		preds = append(preds, fmt.Sprintf("age BETWEEN %d.25 AND %d.75", n%50, n%50+10))
+		return "BIN D ON COUNT(*) WHERE W = { " + strings.Join(preds, ", ") + " } ERROR 40 CONFIDENCE 0.95;"
+	}
+
+	// Raw POSTs so the assertion runs on the wire body, not the client's
+	// decoded view. A few bounded rounds absorb scheduling luck.
+	var mu sync.Mutex
+	var rejected []byte
+	for round := 0; round < 20 && rejected == nil; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < analysts; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < 2; j++ {
+					body := fmt.Sprintf(`{"query":%q}`, distinctQuery())
+					resp, err := http.Post(ts.URL+"/v1/sessions/"+sessions[i]+"/query",
+						"application/json", strings.NewReader(body))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						if resp.Header.Get("Retry-After") == "" {
+							t.Error("429 without Retry-After header")
+						}
+						mu.Lock()
+						if rejected == nil {
+							rejected = b
+						}
+						mu.Unlock()
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	if rejected == nil {
+		t.Fatal("queue depth 1 under 12 concurrent analysts never produced a 429")
+	}
+
+	// Field presence is checked on the raw JSON: queue_depth must be
+	// reported even when the queue drained between rejection and reply.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rejected, &raw); err != nil {
+		t.Fatalf("429 body %q is not JSON: %v", rejected, err)
+	}
+	for _, key := range []string{"error", "code", "trace_id", "queue_depth", "retry_after_seconds"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("429 body missing %q: %s", key, rejected)
+		}
+	}
+	var e server.ErrorResponse
+	if err := json.Unmarshal(rejected, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != server.CodeQueueFull || e.TraceID == "" {
+		t.Fatalf("429 body = %s, want code %q with a trace ID", rejected, server.CodeQueueFull)
+	}
+	if e.QueueDepth == nil || *e.QueueDepth < 0 {
+		t.Fatalf("429 body queue_depth = %v, want reported nonnegative depth", e.QueueDepth)
+	}
+	if e.RetryAfterSeconds < 1 {
+		t.Fatalf("429 body retry_after_seconds = %d, want >= 1", e.RetryAfterSeconds)
+	}
+}
+
+// TestTracesDisabled: with tracing off, the debug endpoint says so, but
+// trace-ID assignment (and its echo) stays on.
+func TestTracesDisabled(t *testing.T) {
+	reg := server.NewRegistry()
+	srv := server.New(reg, server.Config{Trace: server.TraceConfig{Disable: true}})
+	ts := newRawServer(t, srv)
+
+	resp, err := http.Get(ts.URL + "/v1/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404 when tracing is disabled", resp.StatusCode)
+	}
+	var e server.ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.TraceID == "" {
+		t.Fatalf("disabled-tracing body %q: want JSON error with trace ID (err %v)", body, err)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("X-Request-ID assignment must survive -disable-tracing")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -42,15 +43,20 @@ type Config struct {
 	// Metrics, when set, is the registry /metrics serves; nil builds a
 	// private one.
 	Metrics *metrics.Registry
+	// Trace tunes request tracing (the /v1/debug/traces ring, per-phase
+	// histograms and the slow-query log). The zero value traces with
+	// defaults; set Trace.Disable to turn span recording off.
+	Trace TraceConfig
 }
 
-// Server wires the registry, session manager, per-dataset scheduler and
-// metrics registry to an HTTP API.
+// Server wires the registry, session manager, per-dataset scheduler,
+// metrics registry and request tracer to an HTTP API.
 type Server struct {
 	registry   *Registry
 	sessions   *SessionManager
 	sched      *sched.Scheduler
 	metrics    *metrics.Registry
+	tracer     *obs.Tracer
 	allowSeeds bool
 }
 
@@ -67,11 +73,21 @@ func New(reg *Registry, cfg Config) *Server {
 	schedCfg := cfg.Sched
 	schedCfg.Metrics = reg2
 	registerStorageMetrics(reg, reg2)
+	var tracer *obs.Tracer
+	if !cfg.Trace.Disable {
+		tracer = obs.New(obs.Config{
+			Capacity:      cfg.Trace.Capacity,
+			Metrics:       reg2,
+			SlowThreshold: cfg.Trace.SlowQuery,
+			SlowWriter:    cfg.Trace.SlowWriter,
+		})
+	}
 	return &Server{
 		registry:   reg,
 		sessions:   sessions,
 		sched:      sched.New(schedCfg),
 		metrics:    reg2,
+		tracer:     tracer,
 		allowSeeds: cfg.AllowSeeds,
 	}
 }
@@ -140,25 +156,39 @@ func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 // Scheduler returns the per-dataset execution scheduler.
 func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 
+// Tracer returns the server's request tracer, nil when tracing is
+// disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Wire types. Every response is JSON; errors use ErrorResponse with a
 // machine-readable code.
 
-// ErrorResponse is the body of every non-2xx reply.
+// ErrorResponse is the body of every non-2xx reply, including the mux's
+// own 404/405 (the middleware rewrites those to this shape). TraceID is
+// the request's trace ID — the same value echoed in the X-Request-ID
+// response header — so an error can be correlated with its trace and
+// slow-query log line. QueueDepth and RetryAfterSeconds are set on 429
+// backpressure rejections: how congested the dataset's queue currently is
+// and the server's backoff hint.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error             string `json:"error"`
+	Code              string `json:"code"`
+	TraceID           string `json:"trace_id,omitempty"`
+	QueueDepth        *int   `json:"queue_depth,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // Error codes.
 const (
-	CodeBadRequest   = "bad_request"    // malformed JSON or parameters
-	CodeParseError   = "parse_error"    // query text failed to parse
-	CodeNotFound     = "not_found"      // unknown dataset or session
-	CodeConflict     = "conflict"       // duplicate dataset name
-	CodePolicyDenied = "policy_denied"  // owner policy (budget cap, session limit)
-	CodeQueueFull    = "queue_full"     // dataset queue at capacity; retry after backoff
-	CodeUnavailable  = "unavailable"    // server draining for shutdown
-	CodeInternal     = "internal_error" // unexpected engine failure
+	CodeBadRequest       = "bad_request"        // malformed JSON or parameters
+	CodeParseError       = "parse_error"        // query text failed to parse
+	CodeNotFound         = "not_found"          // unknown dataset, session or endpoint
+	CodeMethodNotAllowed = "method_not_allowed" // endpoint exists, method does not
+	CodeConflict         = "conflict"           // duplicate dataset name
+	CodePolicyDenied     = "policy_denied"      // owner policy (budget cap, session limit)
+	CodeQueueFull        = "queue_full"         // dataset queue at capacity; retry after backoff
+	CodeUnavailable      = "unavailable"        // server draining for shutdown
+	CodeInternal         = "internal_error"     // unexpected engine failure
 )
 
 // DatasetInfo describes one registered dataset. Storage says where the
@@ -211,10 +241,13 @@ type QueryRequest struct {
 }
 
 // QueryResponse is the engine's reply: either a noisy answer or a denial,
-// always with the session's updated budget state.
+// always with the session's updated budget state. TraceID identifies the
+// request's trace (also echoed in the X-Request-ID header); the same ID
+// is stamped on the transcript entry this interaction committed.
 type QueryResponse struct {
-	Denied bool   `json:"denied"`
-	Reason string `json:"reason,omitempty"`
+	Denied  bool   `json:"denied"`
+	Reason  string `json:"reason,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
 
 	Mechanism    string    `json:"mechanism,omitempty"`
 	Epsilon      float64   `json:"epsilon"`
@@ -228,7 +261,10 @@ type QueryResponse struct {
 }
 
 // TranscriptEntry is one audit record (paper §6). Query is the rendered
-// declarative text; external charges carry Label instead.
+// declarative text; external charges carry Label instead. TraceID and At
+// are commit provenance: the request trace that committed the entry and
+// when — present for entries committed through the server, absent for
+// engine-direct history.
 type TranscriptEntry struct {
 	Index        int       `json:"index"`
 	Query        string    `json:"query,omitempty"`
@@ -240,6 +276,8 @@ type TranscriptEntry struct {
 	Counts       []float64 `json:"counts,omitempty"`
 	Selected     []bool    `json:"selected,omitempty"`
 	Predicates   []string  `json:"predicates,omitempty"`
+	TraceID      string    `json:"trace_id,omitempty"`
+	At           string    `json:"at,omitempty"` // RFC3339Nano commit time
 }
 
 // TranscriptResponse is the machine-readable session history, re-checked
@@ -254,21 +292,25 @@ type TranscriptResponse struct {
 	Entries []TranscriptEntry `json:"entries"`
 }
 
-// Handler returns the route table. Paths are versioned under /v1.
+// Handler returns the route table. Paths are versioned under /v1. The
+// whole table sits behind the observability middleware: trace-ID
+// assignment and echo, span recording, and JSON-shaped 404/405 bodies.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleAddDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
+	mux.HandleFunc("GET /v1/datasets/{name}/audit", s.handleAudit)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/sessions/{id}/transcript", s.handleTranscript)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
 	mux.Handle("GET /metrics", s.metrics.Handler())
-	return mux
+	return s.withObs(mux)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -290,7 +332,7 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	d, ok := s.registry.Dataset(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name))
+		writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", name))
 		return
 	}
 	writeJSON(w, http.StatusOK, DatasetInfo{
@@ -304,7 +346,7 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Schema == nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "schema is required")
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "schema is required")
 		return
 	}
 	table, err := s.registry.AddCSV(req.Name, req.Schema, []byte(req.CSV))
@@ -317,10 +359,10 @@ func (s *Server) handleAddDataset(w http.ResponseWriter, r *http.Request) {
 			// The registration was rejected because it could not be made
 			// durable; the detail stays in the server log.
 			log.Printf("server: %v", err)
-			writeError(w, http.StatusInternalServerError, CodeInternal, "dataset persistence failed")
+			writeError(w, r, http.StatusInternalServerError, CodeInternal, "dataset persistence failed")
 			return
 		}
-		writeError(w, status, code, err.Error())
+		writeError(w, r, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, DatasetInfo{Name: req.Name, Rows: table.Size(), Schema: req.Schema})
@@ -333,19 +375,19 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	ds, ok := s.registry.Dataset(req.Dataset)
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		writeError(w, r, http.StatusNotFound, CodeNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
 		return
 	}
 	mode := engine.Optimistic
 	if req.Mode != "" {
 		var err error
 		if mode, err = engine.ParseMode(req.Mode); err != nil {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 			return
 		}
 	}
 	if req.Seed != 0 && !s.allowSeeds {
-		writeError(w, http.StatusForbidden, CodePolicyDenied,
+		writeError(w, r, http.StatusForbidden, CodePolicyDenied,
 			"fixed seeds are disabled on this server (a known seed lets the analyst strip the noise); omit seed or ask the owner to enable -allow-seeds")
 		return
 	}
@@ -355,7 +397,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrPolicyDenied) {
 			status, code = http.StatusForbidden, CodePolicyDenied
 		}
-		writeError(w, status, code, err.Error())
+		writeError(w, r, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, sessionInfo(sess))
@@ -373,7 +415,7 @@ func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessions.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "unknown session")
 		return
 	}
 	writeJSON(w, http.StatusOK, sessionInfo(sess))
@@ -381,7 +423,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.Close(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "unknown session")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
@@ -390,7 +432,7 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessions.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "unknown session")
 		return
 	}
 	var req QueryRequest
@@ -400,14 +442,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Same entry point and error format as the apex CLI.
 	q, err := query.ParseLine(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeParseError, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeParseError, err.Error())
 		return
 	}
 	if q == nil {
-		writeError(w, http.StatusBadRequest, CodeParseError, "empty query")
+		writeError(w, r, http.StatusBadRequest, CodeParseError, "empty query")
 		return
 	}
 	eng := sess.Engine()
+	// Tag the trace with what the debug endpoint filters on. The query
+	// text is bounded: it identifies the workload without letting a huge
+	// request body bloat the trace ring.
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.Tag("dataset", sess.Dataset)
+		tr.Tag("session", sess.ID)
+		tr.Tag("query", truncateQuery(req.Query))
+	}
 	// Every query runs through the per-dataset scheduler: admission with
 	// backpressure, fair dispatch across sessions, and one batched
 	// columnar pass for the noise-free scans of whatever else is pending
@@ -420,17 +470,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, sched.ErrQueueFull):
 		// Backpressure: the dataset's queue is at capacity. 429 with a
-		// Retry-After hint; nothing was admitted, charged or logged.
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.sched.RetryAfter()+time.Second-1)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, CodeQueueFull,
-			"dataset queue is full; retry after backoff")
+		// Retry-After hint and the current queue depth, so a backing-off
+		// client can judge the congestion; nothing was admitted, charged
+		// or logged.
+		secs := int((s.sched.RetryAfter() + time.Second - 1) / time.Second)
+		depth := s.sched.QueueDepth(sess.Dataset)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+			Error:             "dataset queue is full; retry after backoff",
+			Code:              CodeQueueFull,
+			TraceID:           obs.RequestID(r.Context()),
+			QueueDepth:        &depth,
+			RetryAfterSeconds: secs,
+		})
 	case errors.Is(err, sched.ErrShutdown):
-		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+		writeError(w, r, http.StatusServiceUnavailable, CodeUnavailable,
 			"server is draining; retry against the restarted instance")
 	case errors.Is(err, engine.ErrDenied):
 		writeJSON(w, http.StatusOK, QueryResponse{
 			Denied:    true,
 			Reason:    "insufficient privacy budget: no applicable mechanism's worst-case loss fits the remaining budget",
+			TraceID:   obs.RequestID(r.Context()),
 			Spent:     spent,
 			Remaining: eng.Budget() - spent,
 		})
@@ -441,30 +501,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// not reclassify a charge-bearing durability failure as
 		// "nothing was charged", and the failure must reach the log.
 		log.Printf("server: session %s: %v", sess.ID, err)
-		writeError(w, http.StatusInternalServerError, CodeInternal, "transcript persistence failed")
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, "transcript persistence failed")
 	case errors.Is(err, engine.ErrSealed):
 		// The session was closed while this query was in flight.
-		writeError(w, http.StatusNotFound, CodeNotFound, "session closed")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "session closed")
 	case err != nil && r.Context().Err() != nil:
 		// Client went away. The scheduler abandons canceled work before
 		// anything is charged (queued, admitted or even executed-but-
 		// uncommitted plans are aborted); only a cancellation landing
 		// inside the commit itself leaves a charge, and then the paid
 		// answer is in the transcript.
-		writeError(w, http.StatusRequestTimeout, CodeBadRequest,
+		writeError(w, r, http.StatusRequestTimeout, CodeBadRequest,
 			"request canceled; any committed charge is visible in the transcript")
 	case errors.Is(err, engine.ErrMechanismFailure):
 		// The raw error can carry data-dependent values (e.g. an actual
 		// loss that overran its bound), so the analyst gets a generic
 		// body and the detail stays in the server log.
 		log.Printf("server: session %s: %v", sess.ID, err)
-		writeError(w, http.StatusInternalServerError, CodeInternal, "internal mechanism failure")
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, "internal mechanism failure")
 	case err != nil:
 		// Everything else is an analyst-input problem (unknown attribute,
 		// invalid accuracy requirement, ...).
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, err.Error())
 	default:
 		writeJSON(w, http.StatusOK, QueryResponse{
+			TraceID:      obs.RequestID(r.Context()),
 			Mechanism:    ans.Mechanism,
 			Epsilon:      ans.Epsilon,
 			EpsilonUpper: ans.EpsilonUpper,
@@ -477,10 +538,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// truncateQuery bounds the query text stored as a trace tag.
+func truncateQuery(q string) string {
+	const maxTag = 200
+	if len(q) <= maxTag {
+		return q
+	}
+	return q[:maxTag] + "..."
+}
+
 func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.sessions.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, CodeNotFound, "unknown session")
+		writeError(w, r, http.StatusNotFound, CodeNotFound, "unknown session")
 		return
 	}
 	// ?since=N returns only entries with index >= N, so audit tailers
@@ -490,7 +560,7 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("since"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, CodeBadRequest, "since must be a nonnegative integer")
+			writeError(w, r, http.StatusBadRequest, CodeBadRequest, "since must be a nonnegative integer")
 			return
 		}
 		since = n
@@ -504,7 +574,10 @@ func (s *Server) handleTranscript(w http.ResponseWriter, r *http.Request) {
 		Entries: make([]TranscriptEntry, 0, len(entries)),
 	}
 	for i, e := range entries {
-		te := TranscriptEntry{Index: since + i, Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon}
+		te := TranscriptEntry{Index: since + i, Label: e.Label, Denied: e.Denied, Epsilon: e.Epsilon, TraceID: e.TraceID}
+		if !e.At.IsZero() {
+			te.At = e.At.UTC().Format(time.RFC3339Nano)
+		}
 		if e.Query != nil {
 			te.Query = e.Query.String()
 		}
@@ -567,7 +640,7 @@ func decodeJSONLimit(w http.ResponseWriter, r *http.Request, v any, limit int64)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid JSON body: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, CodeBadRequest, "invalid JSON body: "+err.Error())
 		return false
 	}
 	return true
@@ -579,6 +652,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+// writeError writes the uniform JSON error body. It takes the request so
+// every error carries the trace ID the middleware assigned — the ID an
+// analyst quotes to an operator, who greps the slow-query log or fetches
+// /v1/debug/traces with it.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code, TraceID: obs.RequestID(r.Context())})
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -122,7 +123,7 @@ func (m *SessionManager) Create(datasetName string, ds *Dataset, budget float64,
 			return nil, fmt.Errorf("server: session log: %w", err)
 		}
 		slog := wal
-		onCommit = func(_ int, e engine.Entry) error { return slog.AppendEntry(e) }
+		onCommit = func(ctx context.Context, _ int, e engine.Entry) error { return slog.AppendEntry(ctx, e) }
 	}
 	abort := func() {
 		if wal != nil {
@@ -178,7 +179,7 @@ func (m *SessionManager) Restore(ds *Dataset, rec *store.RecoveredSession) (*Ses
 		Rng:        noise.NewRand(seed),
 		Reuse:      rec.Meta.Reuse,
 		Transforms: ds.Transforms,
-		OnCommit:   func(_ int, e engine.Entry) error { return rec.Log.AppendEntry(e) },
+		OnCommit:   func(ctx context.Context, _ int, e engine.Entry) error { return rec.Log.AppendEntry(ctx, e) },
 	}, rec.Entries)
 	if err != nil {
 		return nil, fmt.Errorf("server: restore session %s: %w", rec.Meta.ID, err)
@@ -248,6 +249,20 @@ func (m *SessionManager) Shutdown() error {
 		}
 	}
 	return firstErr
+}
+
+// ForDataset returns the live sessions over one dataset, ordered by
+// creation time then id — the set the per-dataset budget audit view
+// reconstructs its spend timeline from.
+func (m *SessionManager) ForDataset(name string) []*Session {
+	all := m.List()
+	out := all[:0]
+	for _, s := range all {
+		if s.Dataset == name {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // List returns all live sessions ordered by creation time, then id.

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // SessionMeta is the header frame of every session log: everything the
@@ -39,13 +41,21 @@ type SessionLog struct {
 func (l *SessionLog) Meta() SessionMeta { return l.meta }
 
 // AppendEntry frames one committed transcript entry into the log and
-// returns once it is durable.
-func (l *SessionLog) AppendEntry(e engine.Entry) error {
+// returns once it is durable. The wait for the WAL's group-commit fsync
+// is recorded as a "wal_flush" span on the request's trace — under high
+// concurrency an entry mostly rides a neighbor's fsync, and this span is
+// where that shows up (or doesn't).
+func (l *SessionLog) AppendEntry(ctx context.Context, e engine.Entry) error {
 	b, err := engine.EncodeEntry(e)
 	if err != nil {
 		return err
 	}
-	return l.wal.Append(b)
+	start := time.Now()
+	err = l.wal.Append(b)
+	if sp := obs.RecordSpan(ctx, "wal_flush", start, time.Now()); sp != nil {
+		sp.Set("bytes", len(b))
+	}
+	return err
 }
 
 // Close flushes and closes the log, leaving the file in place to be

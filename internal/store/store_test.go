@@ -2,6 +2,7 @@ package store_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -192,8 +193,8 @@ func TestSessionLogRoundTrip(t *testing.T) {
 		Mode:   engine.Optimistic,
 		Rng:    rand.New(rand.NewSource(5)),
 		Reuse:  meta.Reuse,
-		OnCommit: func(n int, e engine.Entry) error {
-			return slog.AppendEntry(e)
+		OnCommit: func(ctx context.Context, n int, e engine.Entry) error {
+			return slog.AppendEntry(ctx, e)
 		},
 	})
 	if err != nil {
@@ -257,8 +258,8 @@ func TestSessionLogTornTailRecoversToLastValidFrame(t *testing.T) {
 	eng, err := engine.New(tb, engine.Config{
 		Budget: meta.Budget,
 		Rng:    rand.New(rand.NewSource(5)),
-		OnCommit: func(n int, e engine.Entry) error {
-			return slog.AppendEntry(e)
+		OnCommit: func(ctx context.Context, n int, e engine.Entry) error {
+			return slog.AppendEntry(ctx, e)
 		},
 	})
 	if err != nil {
@@ -405,7 +406,7 @@ func TestAppendEntryRejectsUnserializableQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := slog.AppendEntry(engine.Entry{Query: q}); err == nil {
+	if err := slog.AppendEntry(context.Background(), engine.Entry{Query: q}); err == nil {
 		t.Fatal("unserializable entry accepted")
 	}
 }

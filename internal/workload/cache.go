@@ -96,6 +96,17 @@ func (c *TransformCache) Len() int {
 	return len(c.entries)
 }
 
+// Has reports whether the cache already holds (or is computing) the
+// workload with the given Key. It is advisory — a concurrent Transform
+// can change the answer immediately — and exists for observability:
+// request traces record it as the transform-cache hit/miss attribute.
+func (c *TransformCache) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
 // evalMemo caches a Transformed's noise-free evaluations per table. The
 // key includes the table size so appending to a table (the only mutation
 // the Table API allows) naturally invalidates stale entries.

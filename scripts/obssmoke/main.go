@@ -1,0 +1,423 @@
+// Command obssmoke is the CI observability smoke: it builds apex-server,
+// starts it with a slow-query log, a trace ring and the private debug
+// listener, runs a traced query with a caller-chosen X-Request-ID, and
+// asserts the whole observability surface end to end:
+//
+//   - the trace ID round-trips into the query response, the transcript
+//     entry and the dataset audit timeline;
+//   - GET /v1/debug/traces serves the trace with the pipeline phases
+//     (queue, prepare, execute, commit, wal_flush) nested inside the root;
+//   - the slow-query log (threshold 1ns, so everything is "slow") emits a
+//     structured JSON line carrying the same trace ID;
+//   - /metrics exports the apex_phase_seconds histogram with samples;
+//   - the debug listener answers /debug/pprof/ and the runtime gauges
+//     (apex_goroutines) appear on its private /metrics.
+//
+// It exits nonzero (with a reason) on any divergence. Run it from the
+// repository root:
+//
+//	go run ./scripts/obssmoke
+//
+// It finishes in a few seconds, so it is cheap enough for every CI run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+const (
+	schemaJSON = `{"attributes":[{"name":"age","kind":"continuous","min":0,"max":100},{"name":"state","kind":"categorical","values":["CA","NY","TX"]}]}`
+	queryText  = "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 50 CONFIDENCE 0.95;"
+	requestID  = "obssmoke-trace-1"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "obssmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: OK — trace round-trip, slow-query log, phase metrics and pprof all answered")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "obssmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "apex-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/apex-server")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build apex-server: %w", err)
+	}
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	debugAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// A data dir makes commits durable, so the wal_flush phase is real;
+	// -slow-query 1ns makes every request a slow-query log line.
+	srv, logs, err := startServerCapture(bin, addr,
+		"-data-dir", filepath.Join(work, "data"),
+		"-debug-addr", debugAddr,
+		"-slow-query", "1ns")
+	if err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	var csv strings.Builder
+	csv.WriteString("age,state\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&csv, "%d,%s\n", (i*37)%100, []string{"CA", "NY", "TX"}[i%3])
+	}
+	if _, err := post(base+"/v1/datasets", nil, map[string]any{
+		"name": "smoke", "schema": json.RawMessage(schemaJSON), "csv": csv.String(),
+	}, http.StatusCreated); err != nil {
+		return fmt.Errorf("register dataset: %w", err)
+	}
+	sess, err := post(base+"/v1/sessions", nil, map[string]any{"dataset": "smoke", "budget": 1.0}, http.StatusCreated)
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	id, _ := sess["id"].(string)
+	if id == "" {
+		return fmt.Errorf("session id missing: %v", sess)
+	}
+
+	// ---- the traced query: caller-chosen ID in, same ID everywhere out.
+	hdr := http.Header{"X-Request-Id": []string{requestID}}
+	ans, err := post(base+"/v1/sessions/"+id+"/query", hdr, map[string]any{"query": queryText}, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("query: %w", err)
+	}
+	if got, _ := ans["trace_id"].(string); got != requestID {
+		return fmt.Errorf("query response trace_id = %q, want %q", got, requestID)
+	}
+
+	// Transcript provenance.
+	tr, err := get(base + "/v1/sessions/" + id + "/transcript")
+	if err != nil {
+		return err
+	}
+	entries, _ := tr["entries"].([]any)
+	if len(entries) != 1 {
+		return fmt.Errorf("transcript has %d entries, want 1", len(entries))
+	}
+	entry, _ := entries[0].(map[string]any)
+	if got, _ := entry["trace_id"].(string); got != requestID {
+		return fmt.Errorf("transcript entry trace_id = %q, want %q", got, requestID)
+	}
+
+	// Audit timeline attributes the spend to the request.
+	audit, err := get(base + "/v1/datasets/smoke/audit")
+	if err != nil {
+		return fmt.Errorf("audit view: %w", err)
+	}
+	events, _ := audit["events"].([]any)
+	if len(events) != 1 {
+		return fmt.Errorf("audit has %d events, want 1", len(events))
+	}
+	ev, _ := events[0].(map[string]any)
+	if got, _ := ev["trace_id"].(string); got != requestID {
+		return fmt.Errorf("audit event trace_id = %q, want %q", got, requestID)
+	}
+	if spent, _ := audit["total_spent"].(float64); spent <= 0 {
+		return fmt.Errorf("audit total_spent = %v, want > 0", audit["total_spent"])
+	}
+
+	// The debug trace ring serves the trace with the pipeline phases.
+	// The trace finishes just after the response is written, so poll.
+	view, err := awaitTrace(base, requestID)
+	if err != nil {
+		return err
+	}
+	phases, err := flattenPhases(view)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"queue", "prepare", "execute", "commit", "wal_flush"} {
+		if !phases[want] {
+			return fmt.Errorf("trace %s has no %q span (saw %v)", requestID, want, phases)
+		}
+	}
+	fmt.Printf("obssmoke: trace %s has phases %v\n", requestID, keys(phases))
+
+	// The slow-query log line carries the same trace ID.
+	deadline := time.Now().Add(5 * time.Second)
+	var slow string
+	for slow == "" {
+		for _, line := range strings.Split(logs(), "\n") {
+			if strings.Contains(line, `"slow query"`) && strings.Contains(line, requestID) {
+				slow = strings.TrimSpace(line)
+			}
+		}
+		if slow == "" {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("no slow-query line for %s in server logs:\n%s", requestID, logs())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	var slowObj map[string]any
+	if err := json.Unmarshal([]byte(slow[strings.Index(slow, "{"):]), &slowObj); err != nil {
+		return fmt.Errorf("slow-query line is not JSON: %q: %w", slow, err)
+	}
+	if got, _ := slowObj["trace"].(string); got != requestID {
+		return fmt.Errorf("slow-query line trace = %q, want %q", got, requestID)
+	}
+	if _, ok := slowObj["phases_ms"].(map[string]any); !ok {
+		return fmt.Errorf("slow-query line has no phases_ms breakdown: %q", slow)
+	}
+	fmt.Printf("obssmoke: slow-query log line: %s\n", slow)
+
+	// Public /metrics exports the per-phase histograms with samples.
+	metrics, err := getRaw(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(metrics), "apex_phase_seconds_bucket") {
+		return fmt.Errorf("/metrics has no apex_phase_seconds histogram")
+	}
+	if !strings.Contains(string(metrics), `phase="total"`) {
+		return fmt.Errorf("/metrics apex_phase_seconds has no total phase sample")
+	}
+
+	// The private debug listener answers pprof and runtime gauges.
+	dbgBase := "http://" + debugAddr
+	pprofIndex, err := getRaw(dbgBase + "/debug/pprof/")
+	if err != nil {
+		return fmt.Errorf("pprof index: %w", err)
+	}
+	if !strings.Contains(string(pprofIndex), "goroutine") {
+		return fmt.Errorf("pprof index looks wrong: %.200s", pprofIndex)
+	}
+	dbgMetrics, err := getRaw(dbgBase + "/metrics")
+	if err != nil {
+		return fmt.Errorf("debug metrics: %w", err)
+	}
+	if !strings.Contains(string(dbgMetrics), "apex_goroutines") {
+		return fmt.Errorf("debug /metrics has no runtime gauges (apex_goroutines)")
+	}
+
+	return stopServer(srv)
+}
+
+// awaitTrace polls /v1/debug/traces until the trace with the given ID
+// appears (the middleware finishes it just after the response).
+func awaitTrace(base, id string) (map[string]any, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := get(base + "/v1/debug/traces?dataset=smoke")
+		if err != nil {
+			return nil, err
+		}
+		traces, _ := resp["traces"].([]any)
+		for _, t := range traces {
+			view, _ := t.(map[string]any)
+			if view["id"] == id {
+				return view, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("trace %s never appeared in /v1/debug/traces", id)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// flattenPhases collects span names across the trace's span tree and
+// checks offsets and durations stay inside the root.
+func flattenPhases(view map[string]any) (map[string]bool, error) {
+	rootUS, _ := view["duration_us"].(float64)
+	if rootUS <= 0 {
+		return nil, fmt.Errorf("trace root duration_us = %v, want > 0", view["duration_us"])
+	}
+	phases := map[string]bool{}
+	var walk func(spans []any) error
+	walk = func(spans []any) error {
+		for _, s := range spans {
+			sp, _ := s.(map[string]any)
+			name, _ := sp["name"].(string)
+			phases[name] = true
+			off, _ := sp["offset_us"].(float64)
+			dur, _ := sp["duration_us"].(float64)
+			if off < 0 || dur < 0 || off+dur > rootUS {
+				return fmt.Errorf("span %q [%v..%v]us escapes root [0..%v]us", name, off, off+dur, rootUS)
+			}
+			if children, ok := sp["spans"].([]any); ok {
+				if err := walk(children); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if spans, ok := view["spans"].([]any); ok {
+		if err := walk(spans); err != nil {
+			return nil, err
+		}
+	}
+	return phases, nil
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// stopServer SIGTERMs the server and waits for a clean exit.
+func stopServer(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("SIGTERM exit: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server did not exit within 10s of SIGTERM")
+	}
+	return nil
+}
+
+// startServerCapture starts the server, waits for /healthz, and returns a
+// snapshot function over its combined log output (also teed to stdout).
+func startServerCapture(bin, addr string, extra ...string) (*exec.Cmd, func() string, error) {
+	args := append([]string{"-listen", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	logs := &lockedBuffer{}
+	tee := io.MultiWriter(os.Stdout, logs)
+	cmd.Stdout = tee
+	cmd.Stderr = tee
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	base := "http://" + addr
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, logs.String, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, nil, fmt.Errorf("server at %s never became healthy", addr)
+}
+
+// lockedBuffer is a mutex-guarded byte buffer (the server writes logs
+// from its own process pipe goroutine while the smoke reads snapshots).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// freeAddr reserves an ephemeral port and releases it for the server.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func post(url string, hdr http.Header, body map[string]any, wantStatus int) (map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != wantStatus {
+		return nil, fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("POST %s: %w", url, err)
+	}
+	return out, nil
+}
+
+func get(url string) (map[string]any, error) {
+	data, err := getRaw(url)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return out, nil
+}
+
+func getRaw(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	return data, nil
+}
