@@ -1,0 +1,215 @@
+// Translation-plane benchmarks: what one workload's Monte-Carlo
+// translation costs on each path through internal/translate. Run with
+//
+//	go test -run '^$' -bench Translate -benchmem .
+//
+// and see BENCH_translate.json for recorded numbers.
+//
+//   - cold: a globally fresh workload — reconstruction (pseudoinverse)
+//     plus the full N=10000 sampling pass. This is the cost the plane
+//     exists to amortize; before it, every session paid it per workload.
+//   - hit: the same workload through the shared per-dataset cache — what
+//     every session after the first pays.
+//   - sidecar: a restarted process — LoadSidecar (decode + CRC) plus the
+//     first ask's promotion; no reconstruction, no sampling.
+//   - batch16: 16 distinct same-shape workloads warmed in one
+//     TranslateBatch, sharing one drawn sample matrix; reported
+//     per workload.
+//
+// The e2e pair measures whole engine.Ask requests: a session asking a
+// workload some other session already translated (the per-dataset cache
+// makes this the steady state for every workload's second session) versus
+// a session repeating its own workload.
+package repro
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/accuracy"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/mechanism"
+	"repro/internal/noise"
+	"repro/internal/query"
+	"repro/internal/strategy"
+	"repro/internal/translate"
+	"repro/internal/workload"
+)
+
+// translateBenchSchema covers [0, 4096): room for every domain size and
+// for minting distinct workloads by jittering bin origins.
+func translateBenchSchema(b *testing.B) *dataset.Schema {
+	b.Helper()
+	s, err := dataset.NewSchema(dataset.Attribute{Name: "v", Kind: dataset.Continuous, Min: 0, Max: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// translateBenchTr builds the j-th distinct n-bin histogram workload
+// (unit bins offset by j·2^-8, so every j is a distinct workload key with
+// the identical strategy shape).
+func translateBenchTr(b *testing.B, s *dataset.Schema, n, j int) *workload.Transformed {
+	b.Helper()
+	off := float64(j) / 256
+	preds, err := workload.Histogram1D("v", off, off+float64(n), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Transform(s, preds, workload.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func BenchmarkTranslate(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		s := translateBenchSchema(b)
+		tr := translateBenchTr(b, s, n, 0)
+
+		b.Run(fmt.Sprintf("cold/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := translate.NewCache("").Plan(tr, strategy.H2, translate.DefaultSamples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("hit/n=%d", n), func(b *testing.B) {
+			c := translate.NewCache("")
+			if _, err := c.Plan(tr, strategy.H2, translate.DefaultSamples); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Plan(tr, strategy.H2, translate.DefaultSamples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("sidecar-load/n=%d", n), func(b *testing.B) {
+			// The restart recovery cost per dataset: read + CRC + decode.
+			path := filepath.Join(b.TempDir(), "translate.tc")
+			if _, err := translate.NewCache(path).Plan(tr, strategy.H2, translate.DefaultSamples); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := translate.NewCache(path)
+				if _, _, err := c.LoadSidecar(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("sidecar-serve/n=%d", n), func(b *testing.B) {
+			// The first post-restart translation of a loaded workload:
+			// promotion from the stored set, no sampling, lazy
+			// reconstruction untouched.
+			path := filepath.Join(b.TempDir(), "translate.tc")
+			if _, err := translate.NewCache(path).Plan(tr, strategy.H2, translate.DefaultSamples); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c := translate.NewCache(path)
+				if _, _, err := c.LoadSidecar(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := c.Plan(tr, strategy.H2, translate.DefaultSamples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("batch16/n=%d", n), func(b *testing.B) {
+			const k = 16
+			items := make([]translate.Item, k)
+			for j := 0; j < k; j++ {
+				items[j] = translate.Item{
+					Tr:       translateBenchTr(b, s, n, j),
+					Strategy: strategy.H2,
+					Samples:  translate.DefaultSamples,
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := translate.NewCache("").TranslateBatch(items); got != k {
+					b.Fatalf("batch computed %d plans, want %d", got, k)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/workload")
+		})
+	}
+}
+
+// BenchmarkTranslateE2E: whole requests through engine.Ask. "warm" is a
+// fresh session asking a workload another session of the same dataset
+// already translated; "repeat" is a session re-asking its own workload.
+// The acceptance target is warm ≤ 2× repeat: joining a dataset must not
+// re-pay translation.
+func BenchmarkTranslateE2E(b *testing.B) {
+	const n = 64
+	s := translateBenchSchema(b)
+	tab := dataset.NewTable(s)
+	for i := 0; i < 5000; i++ {
+		tab.MustAppend(dataset.Tuple{dataset.Num(float64(i % n))})
+	}
+	preds, err := workload.Histogram1D("v", 0, n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.NewWCQ(preds, accuracy.Requirement{Alpha: 200, Beta: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sessions share the dataset-level caches exactly as the server wires
+	// them: one transform/evaluation cache and one translation cache.
+	shared := translate.NewCache("")
+	transforms := workload.NewTransformCache(workload.Options{})
+	newSession := func() *engine.Engine {
+		e, err := engine.New(tab, engine.Config{
+			Budget:       1e18,
+			Mode:         engine.Optimistic,
+			Rng:          noise.NewRand(1),
+			Mechanisms:   []mechanism.Mechanism{mechanism.NewSM(strategy.H2, translate.DefaultSamples, 1)},
+			Transforms:   transforms,
+			Translations: shared,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return e
+	}
+	// First session pays the one-and-only sampling pass.
+	if _, err := newSession().Ask(q); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("warm-new-session", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := newSession().Ask(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("repeat-same-session", func(b *testing.B) {
+		e := newSession()
+		if _, err := e.Ask(q); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Ask(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/strategy"
+	"repro/internal/translate"
 	"repro/internal/workload"
 )
 
@@ -161,6 +162,14 @@ type Config struct {
 	// built from TransformOptions; when Transforms is set it wins and
 	// TransformOptions is ignored.
 	Transforms *workload.TransformCache
+	// Translations, when set, is the Monte-Carlo translation plan source
+	// the strategy mechanism reads through — the per-dataset shared,
+	// sidecar-persisted translate.Cache on the server, so all sessions
+	// pay each workload's ~9 ms sampling once and restarts reload plans
+	// instead of re-sampling. It is injected into every suite SM that
+	// doesn't already carry its own source; nil leaves each SM with a
+	// private in-memory cache.
+	Translations translate.Source
 	// Reuse enables the inferencer (§9 extension): answered WCQ counts are
 	// cached and later queries over the same workload with an equal-or-
 	// looser accuracy requirement are answered as free post-processing.
@@ -207,11 +216,12 @@ type Engine struct {
 	// engine lock across the scan.
 	execMu sync.Mutex
 
-	transforms *workload.TransformCache
-	reuse      bool
-	answers    map[string]*cachedAnswer
-	onCommit   CommitHook
-	sealed     bool
+	transforms   *workload.TransformCache
+	translations translate.Source
+	reuse        bool
+	answers      map[string]*cachedAnswer
+	onCommit     CommitHook
+	sealed       bool
 }
 
 // DefaultMechanisms returns the full suite the paper's APEx supports: the
@@ -238,6 +248,16 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 	if mechs == nil {
 		mechs = DefaultMechanisms()
 	}
+	if cfg.Translations != nil {
+		// Wire the shared plan source into every suite SM that doesn't
+		// already carry one, so per-session engines translate through the
+		// dataset's cache instead of private ones.
+		for _, m := range mechs {
+			if sm, ok := m.(*mechanism.SM); ok && sm.Source == nil {
+				sm.Source = cfg.Translations
+			}
+		}
+	}
 	rng := cfg.Rng
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
@@ -247,15 +267,16 @@ func New(d *dataset.Table, cfg Config) (*Engine, error) {
 		transforms = workload.NewTransformCache(cfg.TransformOptions)
 	}
 	e := &Engine{
-		data:       d,
-		budget:     cfg.Budget,
-		mode:       cfg.Mode,
-		mechs:      mechs,
-		rng:        rng,
-		transforms: transforms,
-		reuse:      cfg.Reuse,
-		answers:    make(map[string]*cachedAnswer),
-		onCommit:   cfg.OnCommit,
+		data:         d,
+		budget:       cfg.Budget,
+		mode:         cfg.Mode,
+		mechs:        mechs,
+		rng:          rng,
+		transforms:   transforms,
+		translations: cfg.Translations,
+		reuse:        cfg.Reuse,
+		answers:      make(map[string]*cachedAnswer),
+		onCommit:     cfg.OnCommit,
 	}
 	e.idle.L = &e.mu
 	return e, nil
@@ -475,6 +496,12 @@ func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answ
 	// (pessimistic translators simulate the noise distribution), so it gets
 	// its own span under "prepare".
 	_, tlSpan := obs.StartSpan(ctx, "translate")
+	if e.translations != nil {
+		// Whether the shared translation plane already holds a plan for
+		// this workload — i.e. whether the Monte-Carlo sampling below is
+		// a lookup or a fresh ~9 ms computation.
+		tlSpan.Set("translate_cache_hit", e.translations.Ready(key))
+	}
 	remaining := e.budget - e.spent - e.reserved
 	var best *Choice
 	for _, m := range e.mechs {
@@ -537,7 +564,16 @@ func (e *Engine) Execute(ctx context.Context, p *exec.Plan) *exec.Outcome {
 	e.execMu.Lock()
 	defer e.execMu.Unlock()
 	start := time.Now()
-	res, err := p.Mechanism.Run(p.Query, p.Transformed, e.data, e.rng)
+	var res *mechanism.Result
+	var err error
+	if pr, ok := p.Mechanism.(mechanism.PreparedRunner); ok {
+		// The plan carries the cost Prepare translated at admission, so
+		// prepared-aware mechanisms skip the redundant execute-time
+		// re-translation (for SM, a second full binary search).
+		res, err = pr.RunPrepared(p.Query, p.Transformed, e.data, e.rng, p.Cost)
+	} else {
+		res, err = p.Mechanism.Run(p.Query, p.Transformed, e.data, e.rng)
+	}
 	elapsed := time.Since(start)
 	span.Set("mechanism", p.Mechanism.Name())
 	span.Set("run_us", elapsed.Microseconds())
@@ -613,6 +649,42 @@ func (e *Engine) finish(p *exec.Plan) error {
 		e.idle.Broadcast()
 	}
 	return nil
+}
+
+// TranslationNeed pairs a translation warm item with the source to warm
+// it in, so a scheduler batching across engines can group items by
+// source (engines of one dataset share one) and pay one fanned-out
+// sampling pass per source.
+type TranslationNeed struct {
+	Source translate.Source
+	Item   translate.Item
+}
+
+// TranslationNeeds returns the Monte-Carlo translation plans q's
+// applicable mechanisms would compute inside Prepare, without computing
+// them. A batching scheduler calls it for every request of a batch
+// before admission and warms the union via TranslateBatch; errors (a
+// malformed query, an untransformable workload) return nil and are left
+// for Prepare to surface.
+func (e *Engine) TranslationNeeds(q *query.Query) []TranslationNeed {
+	if q.Validate() != nil {
+		return nil
+	}
+	tr, err := e.transform(q)
+	if err != nil {
+		return nil
+	}
+	var out []TranslationNeed
+	for _, m := range e.mechs {
+		tw, ok := m.(mechanism.TranslationWarmer)
+		if !ok {
+			continue
+		}
+		if src, item, ok := tw.TranslationNeed(q, tr); ok {
+			out = append(out, TranslationNeed{Source: src, Item: item})
+		}
+	}
+	return out
 }
 
 // planNeeds asks the mechanism which noise-free evaluations its Run will

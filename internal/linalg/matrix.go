@@ -167,6 +167,29 @@ func (m *Matrix) MulVecInto(dst, x []float64) error {
 	return nil
 }
 
+// MulVecLInf returns ‖m·x‖∞ without materializing the product vector.
+// Each dot product accumulates in the same ascending-column order as
+// MulVecInto, so the result is bit-identical to LInfNorm over a
+// MulVecInto output — the property the Monte-Carlo translation's
+// differential tests rely on.
+func (m *Matrix) MulVecLInf(x []float64) (float64, error) {
+	if m.cols != len(x) {
+		return 0, ErrShape
+	}
+	var best float64
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		if a := math.Abs(s); a > best {
+			best = a
+		}
+	}
+	return best, nil
+}
+
 // Scale multiplies every entry by s in place and returns the receiver.
 func (m *Matrix) Scale(s float64) *Matrix {
 	for i := range m.data {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/query"
+	"repro/internal/translate"
 	"repro/internal/workload"
 )
 
@@ -87,6 +88,27 @@ type Prefetch struct {
 // Run, through the same cache.
 type Prefetcher interface {
 	Prefetch(q *query.Query, tr *workload.Transformed) Prefetch
+}
+
+// PreparedRunner is implemented by mechanisms whose Run begins by
+// re-deriving state the engine already translated at admission (the
+// privacy cost, and with it the cached translation plan). The two-phase
+// engine path calls RunPrepared with the admitted plan's cost so execute
+// time pays no second binary search. Run must behave exactly like
+// Translate followed by RunPrepared with the resulting cost.
+type PreparedRunner interface {
+	RunPrepared(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand, cost Cost) (*Result, error)
+}
+
+// TranslationWarmer is implemented by mechanisms whose Translate reads a
+// Monte-Carlo translation plan that can be precomputed. A batching
+// scheduler collects every admitted-to-be query's need before admission
+// and warms them with one translate.Source.TranslateBatch call per
+// source, so all fresh workloads of a batch share one sampling pass.
+// Warming is purely an optimization: an unwarmed plan is computed inside
+// Translate through the same source.
+type TranslationWarmer interface {
+	TranslationNeed(q *query.Query, tr *workload.Transformed) (translate.Source, translate.Item, bool)
 }
 
 // ErrNotApplicable is returned by Translate/Run when the mechanism cannot

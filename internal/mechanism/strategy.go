@@ -4,15 +4,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 
 	"repro/internal/accuracy"
 	"repro/internal/dataset"
-	"repro/internal/linalg"
 	"repro/internal/noise"
 	"repro/internal/query"
 	"repro/internal/strategy"
+	"repro/internal/translate"
 	"repro/internal/workload"
 )
 
@@ -28,6 +27,12 @@ import (
 // (workload, strategy) pair and re-thresholded at every ε probed, so the
 // binary search costs one matrix-vector product per sample in total.
 //
+// The samples come from a translate.Source — the per-dataset shared,
+// persistent TranslationCache when the server wires one up (Source), or a
+// private cache otherwise. Sampling seeds are canonical
+// (translate.SampleSeed): the same workload translates to the bit-identical
+// ε in any session, any process life, and any translation order.
+//
 // SM answers WCQ directly. It also answers ICQ (the paper's ICQ-SM):
 // the analyst thresholds the noisy counts locally, which is post-processing;
 // because ICQ accuracy only needs one-sided error, the WCQ translation is
@@ -37,26 +42,27 @@ type SM struct {
 	Strategy strategy.Strategy
 	// Samples is the Monte-Carlo sample count N; 0 means DefaultMCSamples.
 	Samples int
-	// Seed seeds the (deterministic) Monte-Carlo sampler.
+	// Seed is retained for constructor compatibility but no longer feeds
+	// the sampler: seeds are derived canonically from (strategy, N,
+	// strategy-matrix rows), so ε cannot depend on arrival order or on
+	// which session translated first.
 	Seed int64
+	// Source, when set, supplies translation plans — typically the
+	// per-dataset shared translate.Cache so all sessions pay each
+	// workload's sampling once and restarts reload it from the sidecar.
+	// Nil means a private in-memory cache.
+	Source translate.Source
 
-	mu    sync.Mutex
-	cache map[string]*smPlan
+	srcOnce sync.Once
+	src     translate.Source
 }
 
 // DefaultMCSamples matches the paper's N = 10000.
-const DefaultMCSamples = 10000
-
-// smPlan caches per-(workload,strategy) state: the reconstruction and the
-// sorted normalized error samples.
-type smPlan struct {
-	rec *strategy.Reconstruction
-	// zs are N draws of ‖R·Lap(1)^l‖∞, sorted ascending.
-	zs []float64
-}
+const DefaultMCSamples = translate.DefaultSamples
 
 // NewSM returns an SM with the given strategy (nil for H2) and sample count
-// (0 for the default).
+// (0 for the default). The seed parameter is kept for compatibility; see
+// SM.Seed.
 func NewSM(s strategy.Strategy, samples int, seed int64) *SM {
 	return &SM{Strategy: s, Samples: samples, Seed: seed}
 }
@@ -78,6 +84,18 @@ func (m *SM) samples() int {
 	return m.Samples
 }
 
+// source returns the plan source, defaulting to a private memory-only
+// cache on first use.
+func (m *SM) source() translate.Source {
+	m.srcOnce.Do(func() {
+		m.src = m.Source
+		if m.src == nil {
+			m.src = translate.NewCache("")
+		}
+	})
+	return m.src
+}
+
 // Applicable implements Mechanism: SM needs the materialized workload
 // matrix and handles WCQ and ICQ.
 func (m *SM) Applicable(q *query.Query, tr *workload.Transformed) bool {
@@ -87,38 +105,23 @@ func (m *SM) Applicable(q *query.Query, tr *workload.Transformed) bool {
 	return tr.Materialized()
 }
 
-// plan returns (building if needed) the cached reconstruction and error
-// samples for the workload.
-func (m *SM) plan(tr *workload.Transformed) (*smPlan, error) {
-	key := fmt.Sprintf("%p/%s/%d", tr, m.strat().Name(), m.samples())
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.cache == nil {
-		m.cache = make(map[string]*smPlan)
-	}
-	if p, ok := m.cache[key]; ok {
-		return p, nil
-	}
-	rec, err := strategy.NewReconstruction(tr.Matrix(), m.strat())
+// plan fetches the workload's translation plan through the source.
+func (m *SM) plan(tr *workload.Transformed) (*translate.Plan, error) {
+	p, err := m.source().Plan(tr, m.strat(), m.samples())
 	if err != nil {
 		return nil, fmt.Errorf("mechanism: SM: %w", err)
 	}
-	n := m.samples()
-	rng := noise.NewRand(m.Seed ^ int64(len(m.cache)+1))
-	zs := make([]float64, n)
-	eta := make([]float64, rec.A.Rows())
-	err2 := make([]float64, rec.R.Rows())
-	for i := 0; i < n; i++ {
-		noise.LaplaceVecInto(rng, 1, eta)
-		if err := rec.R.MulVecInto(err2, eta); err != nil {
-			return nil, err
-		}
-		zs[i] = linalg.LInfNorm(err2)
-	}
-	sort.Float64s(zs)
-	p := &smPlan{rec: rec, zs: zs}
-	m.cache[key] = p
 	return p, nil
+}
+
+// TranslationNeed implements TranslationWarmer: a batching scheduler
+// warms the plan through the source before admission so every fresh
+// workload in the batch shares one sampling pass.
+func (m *SM) TranslationNeed(q *query.Query, tr *workload.Transformed) (translate.Source, translate.Item, bool) {
+	if !m.Applicable(q, tr) {
+		return nil, translate.Item{}, false
+	}
+	return m.source(), translate.Item{Tr: tr, Strategy: m.strat(), Samples: m.samples()}, true
 }
 
 // Translate implements Mechanism (Algorithm 3's translate): a binary search
@@ -148,18 +151,18 @@ func (m *SM) Translate(q *query.Query, tr *workload.Transformed) (Cost, error) {
 		}
 	}
 	// Theorem A.1 upper bound: ε ≤ ‖A‖₁·‖WA⁺‖F / (α·math.Sqrt(β/2)).
-	hi := p.rec.SensA * p.rec.R.FrobeniusNorm() / (alpha * math.Sqrt(beta/2))
+	hi := p.SensA * p.FrobR / (alpha * math.Sqrt(beta/2))
 	lo := 0.0
-	if !m.passes(p, hi, alpha, beta) {
+	if !passes(p, hi, alpha, beta) {
 		// The Chebyshev bound should always pass; if MC noise says
 		// otherwise, widen until it does.
-		for i := 0; i < 60 && !m.passes(p, hi, alpha, beta); i++ {
+		for i := 0; i < 60 && !passes(p, hi, alpha, beta); i++ {
 			hi *= 2
 		}
 	}
 	for i := 0; i < 60 && hi-lo > 1e-4*hi; i++ {
 		mid := (lo + hi) / 2
-		if m.passes(p, mid, alpha, beta) {
+		if passes(p, mid, alpha, beta) {
 			hi = mid
 		} else {
 			lo = mid
@@ -172,14 +175,14 @@ func (m *SM) Translate(q *query.Query, tr *workload.Transformed) (Cost, error) {
 // Z, failure at privacy ε means Z·(‖A‖₁/ε) > α. The empirical rate βe is
 // accepted when βe + δβ + p/2 < β with δβ the z_{1-p/2} normal margin and
 // p = β/100.
-func (m *SM) passes(p *smPlan, eps, alpha, beta float64) bool {
+func passes(p *translate.Plan, eps, alpha, beta float64) bool {
 	if eps <= 0 {
 		return false
 	}
-	threshold := alpha * eps / p.rec.SensA
-	n := len(p.zs)
+	threshold := alpha * eps / p.SensA
+	n := len(p.Zs)
 	// zs sorted ascending: failures are samples > threshold.
-	nf := n - upperBound(p.zs, threshold)
+	nf := n - upperBound(p.Zs, threshold)
 	be := float64(nf) / float64(n)
 	pp := beta / 100
 	z := noise.ZScore(pp / 2)
@@ -198,26 +201,38 @@ func (m *SM) Run(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng
 	if err != nil {
 		return nil, err
 	}
+	return m.RunPrepared(q, tr, d, rng, cost)
+}
+
+// RunPrepared implements PreparedRunner: it executes with the privacy
+// cost the engine already translated at admission, skipping the redundant
+// re-translation (plan lookup plus full binary search) the single-shot
+// Run pays at execute time.
+func (m *SM) RunPrepared(q *query.Query, tr *workload.Transformed, d *dataset.Table, rng *rand.Rand, cost Cost) (*Result, error) {
 	eps := cost.Upper
 	p, err := m.plan(tr)
 	if err != nil {
 		return nil, err
 	}
+	rec, err := p.Reconstruction()
+	if err != nil {
+		return nil, fmt.Errorf("mechanism: SM: %w", err)
+	}
 	x, err := tr.Histogram(d)
 	if err != nil {
 		return nil, err
 	}
-	ax, err := p.rec.A.MulVec(x)
+	ax, err := rec.A.MulVec(x)
 	if err != nil {
 		return nil, err
 	}
 	if eps > 0 {
-		b := p.rec.SensA / eps
+		b := rec.SensA / eps
 		for i := range ax {
 			ax[i] += noise.Laplace(rng, b)
 		}
 	}
-	omega, err := p.rec.R.MulVec(ax)
+	omega, err := rec.R.MulVec(ax)
 	if err != nil {
 		return nil, err
 	}

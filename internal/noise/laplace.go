@@ -19,6 +19,18 @@ func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
+// SplitSeed derives an independent stream seed from a base seed, using a
+// splitmix64-style finalizer. Parallel samplers (the strategy mechanism's
+// blocked Monte-Carlo translation) give every block its own stream, so
+// the drawn samples are a pure function of (seed, stream) — identical no
+// matter how many workers run the blocks or in what order.
+func SplitSeed(seed, stream int64) int64 {
+	z := uint64(seed) + (uint64(stream)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
 // Laplace draws one sample from the Laplace distribution with mean 0 and
 // scale b (density (1/2b)·exp(-|z|/b)) using inverse-CDF sampling.
 func Laplace(rng *rand.Rand, b float64) float64 {

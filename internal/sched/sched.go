@@ -42,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/translate"
 	"repro/internal/workload"
 )
 
@@ -447,8 +448,47 @@ func (s *Scheduler) worker(d *dsQueue) {
 	}
 }
 
-// runBatch drives one batch through admit → warm → execute → commit.
+// runBatch drives one batch through translate-warm → admit → warm →
+// execute → commit.
 func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
+	// Phase 0: batch-warm the Monte-Carlo translation plans. Translation
+	// happens inside Prepare (admission needs the privacy cost), so this
+	// warm pass must precede admission — unlike the noise-free scan warm
+	// below, which precedes Execute. Grouping by source means one
+	// fanned-out sampling pass per dataset cache, with every fresh
+	// workload in the batch sharing the drawn sample matrix; already-
+	// cached workloads cost a lookup. Like the scan pass, the shared span
+	// lands on every participating request's trace.
+	warmStart := time.Now()
+	tlGroups := make(map[translate.Source][]translate.Item)
+	var warmReqs []*request
+	for _, req := range batch {
+		if req.ctx.Err() != nil {
+			continue
+		}
+		needs := req.eng.TranslationNeeds(req.q)
+		if len(needs) == 0 {
+			continue
+		}
+		for _, n := range needs {
+			tlGroups[n.Source] = append(tlGroups[n.Source], n.Item)
+		}
+		warmReqs = append(warmReqs, req)
+	}
+	if len(tlGroups) > 0 {
+		var translated int
+		for src, items := range tlGroups {
+			translated += src.TranslateBatch(items)
+		}
+		warmEnd := time.Now()
+		for _, req := range warmReqs {
+			if sp := obs.RecordSpan(req.ctx, "translate_warm", warmStart, warmEnd); sp != nil {
+				sp.Set("batch_size", len(warmReqs))
+				sp.Set("computed", translated)
+			}
+		}
+	}
+
 	// Phase 1: admission, per engine, under each engine's own lock. Reuse
 	// hits and denials complete here.
 	type flight struct {

@@ -138,7 +138,11 @@ func lintExposition(t *testing.T, r io.Reader) {
 	}
 
 	// The scrape must actually exercise the families this PR cares about.
-	for _, want := range []string{"apex_phase_seconds", "apex_sched_requests_total", "apex_traces_recorded_total"} {
+	for _, want := range []string{
+		"apex_phase_seconds", "apex_sched_requests_total", "apex_traces_recorded_total",
+		"apex_translate_cache_hits", "apex_translate_cache_misses",
+		"apex_translate_cache_loads", "apex_translate_cache_rebuilds",
+	} {
 		if !helpSeen[want] {
 			t.Errorf("/metrics is missing the %q family", want)
 		}

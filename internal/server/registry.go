@@ -37,6 +37,7 @@ import (
 	"repro/internal/colstore"
 	"repro/internal/dataset"
 	"repro/internal/store"
+	"repro/internal/translate"
 	"repro/internal/workload"
 )
 
@@ -96,6 +97,11 @@ type Dataset struct {
 	// Transforms caches workload transformations and their noise-free
 	// evaluations across all of the dataset's sessions.
 	Transforms *workload.TransformCache
+	// Translations caches Monte-Carlo translation plans (sorted error
+	// samples + reconstruction scalars) across all of the dataset's
+	// sessions. For durable datasets it is backed by the translate.tc
+	// sidecar in the catalog entry, so plans survive restarts.
+	Translations *translate.Cache
 	// Mode says whether Table's columns live on the heap or alias the
 	// mmap'd segment.
 	Mode StorageMode
@@ -114,6 +120,10 @@ type DatasetRecovery struct {
 	Mode    StorageMode
 	Rows    int
 	Elapsed time.Duration
+	// TranslatePlans is how many Monte-Carlo translation plans came back
+	// from the dataset's sidecar — workloads a restarted server serves in
+	// microseconds instead of re-sampling.
+	TranslatePlans int
 }
 
 // Registry is the thread-safe catalog of named sensitive tables the server
@@ -207,13 +217,15 @@ func (r *Registry) RecoverDatasets() (recovered []DatasetRecovery, skipped []str
 			skipped = append(skipped, fmt.Sprintf("%s: %v", rec.Name, rerr))
 			continue
 		}
+		plans := r.attachTranslationSidecar(rec.Name, ds)
 		r.tables[rec.Name] = ds
 		recovered = append(recovered, DatasetRecovery{
-			Name:    rec.Name,
-			Source:  source,
-			Mode:    ds.Mode,
-			Rows:    ds.Table.Size(),
-			Elapsed: time.Since(start),
+			Name:           rec.Name,
+			Source:         source,
+			Mode:           ds.Mode,
+			Rows:           ds.Table.Size(),
+			Elapsed:        time.Since(start),
+			TranslatePlans: plans,
 		})
 	}
 	return recovered, skipped, nil
@@ -305,11 +317,33 @@ func (r *Registry) openSegment(path string) (*Dataset, error) {
 
 func newDataset(t *dataset.Table, mode StorageMode, seg *colstore.Segment) *Dataset {
 	return &Dataset{
-		Table:      t,
-		Transforms: workload.NewTransformCache(workload.Options{}),
-		Mode:       mode,
-		Segment:    seg,
+		Table:        t,
+		Transforms:   workload.NewTransformCache(workload.Options{}),
+		Translations: translate.NewCache(""),
+		Mode:         mode,
+		Segment:      seg,
 	}
+}
+
+// attachTranslationSidecar rebinds a durable dataset's translation cache
+// to its catalog sidecar and loads whatever plans a previous process life
+// persisted. Called before the dataset is registered (no session can hold
+// the memory-only cache yet). Returns the number of plans loaded; a
+// corrupt sidecar is quarantined and rebuilt from its valid prefix by the
+// cache itself, counted in the registry's translate counters.
+func (r *Registry) attachTranslationSidecar(name string, ds *Dataset) int {
+	if r.store == nil {
+		return 0
+	}
+	ds.Translations = translate.NewCache(filepath.Join(r.store.DatasetDir(name), store.TranslateSidecarFile))
+	loaded, quarantined, err := ds.Translations.LoadSidecar()
+	if quarantined != "" {
+		fmt.Fprintf(os.Stderr, "apex-server: dataset %s: corrupt translation sidecar quarantined to %s (rebuilt with %d plans)\n",
+			name, filepath.Base(quarantined), loaded)
+	} else if err != nil {
+		fmt.Fprintf(os.Stderr, "apex-server: dataset %s: translation sidecar: %v\n", name, err)
+	}
+	return loaded
 }
 
 // AddCSV parses and registers a dataset from its source CSV. With a store
@@ -430,6 +464,9 @@ func (r *Registry) addCSV(name string, schema *dataset.Schema, openCSV func() (i
 		r.segmentOpens.Add(1)
 		ds = newDataset(table, StorageHeap, nil)
 	}
+	// Bind the (empty) translation sidecar so plans computed for this
+	// dataset persist for future restarts.
+	r.attachTranslationSidecar(name, ds)
 	r.register(name, ds)
 	return ds.Table, nil
 }
@@ -572,6 +609,27 @@ func (r *Registry) StorageStats() []StorageStat {
 			stat.ResidentBytes = stat.DataBytes
 		}
 		out = append(out, stat)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TranslateStat is one dataset's translation-cache counters for /metrics.
+type TranslateStat struct {
+	Name  string
+	Stats translate.Stats
+}
+
+// TranslateStats snapshots every dataset's translation-plane counters.
+func (r *Registry) TranslateStats() []TranslateStat {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TranslateStat, 0, len(r.tables))
+	for name, ds := range r.tables {
+		if ds.Translations == nil {
+			continue
+		}
+		out = append(out, TranslateStat{Name: name, Stats: ds.Translations.Stats()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -73,6 +73,7 @@ func New(reg *Registry, cfg Config) *Server {
 	schedCfg := cfg.Sched
 	schedCfg.Metrics = reg2
 	registerStorageMetrics(reg, reg2)
+	registerTranslateMetrics(reg, reg2)
 	var tracer *obs.Tracer
 	if !cfg.Trace.Disable {
 		tracer = obs.New(obs.Config{

@@ -134,12 +134,13 @@ func (m *SessionManager) Create(datasetName string, ds *Dataset, budget float64,
 	}
 
 	eng, err := engine.New(ds.Table, engine.Config{
-		Budget:     budget,
-		Mode:       mode,
-		Rng:        noise.NewRand(seed),
-		Reuse:      reuse,
-		Transforms: ds.Transforms,
-		OnCommit:   onCommit,
+		Budget:       budget,
+		Mode:         mode,
+		Rng:          noise.NewRand(seed),
+		Reuse:        reuse,
+		Transforms:   ds.Transforms,
+		Translations: ds.Translations,
+		OnCommit:     onCommit,
 	})
 	if err != nil {
 		abort()
@@ -174,12 +175,13 @@ func (m *SessionManager) Restore(ds *Dataset, rec *store.RecoveredSession) (*Ses
 		return nil, err
 	}
 	eng, err := engine.Replay(ds.Table, engine.Config{
-		Budget:     rec.Meta.Budget,
-		Mode:       mode,
-		Rng:        noise.NewRand(seed),
-		Reuse:      rec.Meta.Reuse,
-		Transforms: ds.Transforms,
-		OnCommit:   func(ctx context.Context, _ int, e engine.Entry) error { return rec.Log.AppendEntry(ctx, e) },
+		Budget:       rec.Meta.Budget,
+		Mode:         mode,
+		Rng:          noise.NewRand(seed),
+		Reuse:        rec.Meta.Reuse,
+		Transforms:   ds.Transforms,
+		Translations: ds.Translations,
+		OnCommit:     func(ctx context.Context, _ int, e engine.Entry) error { return rec.Log.AppendEntry(ctx, e) },
 	}, rec.Entries)
 	if err != nil {
 		return nil, fmt.Errorf("server: restore session %s: %w", rec.Meta.ID, err)

@@ -1,0 +1,139 @@
+package server_test
+
+import (
+	"bufio"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Observability for the translation plane: the prepare→translate span
+// carries a translate_cache_hit attribute, batched requests record the
+// Phase-0 translate_warm span, and the per-dataset cache counters reach
+// /metrics.
+
+// findSpan walks a trace depth-first for the first span with the name.
+func findSpan(spans []server.SpanView, name string) *server.SpanView {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+		if sp := findSpan(spans[i].Spans, name); sp != nil {
+			return sp
+		}
+	}
+	return nil
+}
+
+// traceByID polls the debug ring until the request's trace is recorded.
+func traceByID(t *testing.T, c interface {
+	Traces(dataset, session string, minDur time.Duration, limit int) ([]server.TraceView, error)
+}, rid string) *server.TraceView {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		views, err := c.Traces("people", "", 0, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range views {
+			if views[i].ID == rid {
+				return &views[i]
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %q never appeared in /v1/debug/traces", rid)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTranslateSpanAttrAndMetrics(t *testing.T) {
+	c := newTestServer(t, server.Config{})
+	sess, err := c.CreateSession(server.CreateSessionRequest{Dataset: "people", Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two asks of one workload: the scheduler's Phase-0 warm translates
+	// before the first prepare (so its translate span already reads the
+	// plan as cached); the second is a straight cache hit.
+	const rid1, rid2 = "translate-obs.001", "translate-obs.002"
+	if r, err := c.QueryWithRequestID(sess.ID, binQuery, rid1); err != nil || r.Denied {
+		t.Fatalf("first query: err=%v denied=%v", err, r != nil && r.Denied)
+	}
+	if r, err := c.QueryWithRequestID(sess.ID, binQuery, rid2); err != nil || r.Denied {
+		t.Fatalf("second query: err=%v denied=%v", err, r != nil && r.Denied)
+	}
+
+	// First request: the warm pass ran and computed the plan, and the
+	// prepare-phase translate span saw it ready.
+	tr1 := traceByID(t, c, rid1)
+	warm := findSpan(tr1.Spans, "translate_warm")
+	if warm == nil {
+		t.Fatalf("first request has no translate_warm span (spans: %+v)", tr1.Spans)
+	}
+	if computed, ok := warm.Attrs["computed"].(float64); !ok || computed < 1 {
+		t.Fatalf("translate_warm computed attr = %v, want ≥1", warm.Attrs["computed"])
+	}
+	for i, rid := range []string{rid1, rid2} {
+		tr := traceByID(t, c, rid)
+		tl := findSpan(tr.Spans, "translate")
+		if tl == nil {
+			t.Fatalf("request %d has no translate span", i+1)
+		}
+		hit, ok := tl.Attrs["translate_cache_hit"].(bool)
+		if !ok {
+			t.Fatalf("request %d: translate_cache_hit attr = %v (%T), want bool", i+1, tl.Attrs["translate_cache_hit"], tl.Attrs["translate_cache_hit"])
+		}
+		if !hit {
+			t.Fatalf("request %d: translate_cache_hit = false, want true (plan was warmed/cached)", i+1)
+		}
+	}
+
+	// /metrics: the four cache counter families with the dataset label,
+	// with at least one miss (the warm computation) and one hit.
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics HTTP %d", resp.StatusCode)
+	}
+	found := map[string]bool{}
+	var hitsSample, missesSample bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, fam := range []string{
+			"apex_translate_cache_hits", "apex_translate_cache_misses",
+			"apex_translate_cache_loads", "apex_translate_cache_rebuilds",
+		} {
+			if strings.HasPrefix(line, "# TYPE "+fam+" counter") {
+				found[fam] = true
+			}
+		}
+		if strings.HasPrefix(line, `apex_translate_cache_hits{dataset="people"}`) && !strings.HasSuffix(line, " 0") {
+			hitsSample = true
+		}
+		if strings.HasPrefix(line, `apex_translate_cache_misses{dataset="people"}`) && !strings.HasSuffix(line, " 0") {
+			missesSample = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 4 {
+		t.Fatalf("translate counter families on /metrics: %v, want all four", found)
+	}
+	if !missesSample {
+		t.Fatal("apex_translate_cache_misses{dataset=people} has no nonzero sample")
+	}
+	if !hitsSample {
+		t.Fatal("apex_translate_cache_hits{dataset=people} has no nonzero sample")
+	}
+}

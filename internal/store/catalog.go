@@ -20,6 +20,11 @@ const (
 	SchemaFile  = "schema.json"
 	CSVFile     = "data.csv"
 	SegmentFile = "table.seg"
+	// TranslateSidecarFile is the Monte-Carlo translation sidecar: the
+	// dataset's persisted translation plans (internal/translate), written
+	// atomically beside schema.json and reloaded on recovery so a restart
+	// never re-samples a previously translated workload.
+	TranslateSidecarFile = "translate.tc"
 	// QuarantineSuffix is appended to a segment that failed checksum
 	// validation; the file is kept for the operator, never reopened.
 	QuarantineSuffix = ".quarantined"

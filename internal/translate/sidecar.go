@@ -1,0 +1,353 @@
+package translate
+
+// The translation sidecar is the durable half of the plane: every
+// computed plan — key, strategy shape, canonical seed and the sorted
+// normalized samples — is framed into one file beside the dataset's
+// catalog entry, so a restarted server re-reads ~80 KB per workload
+// instead of re-sampling for ~9 ms.
+//
+// Format (all little-endian):
+//
+//	header  : magic "APEXTRAN" | u32 version (=1)
+//	frame   : u32 payloadLen | u32 crc32c(payload) | payload
+//	payload : u32 keyLen | key
+//	          u8  stratLen | strat
+//	          u32 samples | u64 seed
+//	          u32 L (workload length) | u32 rows (strategy-matrix rows)
+//	          f64 SensA | f64 FrobR
+//	          u32 nzs | nzs × f64 zs (sorted)
+//
+// Floats are raw IEEE-754 bits, so a loaded plan is bit-identical to
+// the computed one — the differential tests depend on that. The CRC is
+// crc32.Castagnoli, the same polynomial the WAL frames use. Writes are
+// temp-file-then-rename with directory fsync, so a crash mid-write
+// leaves the previous sidecar intact; a sidecar that fails validation
+// on load keeps its valid frame prefix, is renamed aside with the
+// store's quarantine suffix for the operator, and is immediately
+// rewritten from the surviving plans.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	sidecarMagic   = "APEXTRAN"
+	sidecarVersion = 1
+	// sidecarQuarantineSuffix matches store.QuarantineSuffix: corrupt
+	// artifacts are renamed aside, never deleted.
+	sidecarQuarantineSuffix = ".quarantined"
+	// maxSidecarFrame bounds one frame at decode time so a corrupt
+	// length field cannot ask for gigabytes.
+	maxSidecarFrame = 64 << 20
+)
+
+// crcTable is the Castagnoli table, matching the WAL's framing.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// storedPlan is a plan as persisted: everything but the in-memory
+// workload/strategy handles, which are re-attached on promotion.
+type storedPlan struct {
+	key     string
+	strat   string
+	samples int
+	seed    int64
+	l       int // workload length L
+	rows    int // strategy-matrix rows l
+	sensA   float64
+	frobR   float64
+	zs      []float64
+}
+
+// encodeStoredPlan appends one framed plan to buf.
+func encodeStoredPlan(buf []byte, s *storedPlan) []byte {
+	payload := make([]byte, 0, 4+len(s.key)+1+len(s.strat)+4+8+4+4+8+8+4+8*len(s.zs))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(s.key)))
+	payload = append(payload, s.key...)
+	payload = append(payload, byte(len(s.strat)))
+	payload = append(payload, s.strat...)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(s.samples))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(s.seed))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(s.l))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(s.rows))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(s.sensA))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(s.frobR))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(s.zs)))
+	for _, z := range s.zs {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(z))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// decodeStoredPlan parses one payload; it validates internal lengths so
+// a CRC-valid frame from a future incompatible version fails cleanly.
+func decodeStoredPlan(p []byte) (*storedPlan, error) {
+	u32 := func() (uint32, error) {
+		if len(p) < 4 {
+			return 0, fmt.Errorf("translate: truncated payload")
+		}
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if len(p) < 8 {
+			return 0, fmt.Errorf("translate: truncated payload")
+		}
+		v := binary.LittleEndian.Uint64(p)
+		p = p[8:]
+		return v, nil
+	}
+	keyLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(keyLen) > len(p) {
+		return nil, fmt.Errorf("translate: key overruns payload")
+	}
+	s := &storedPlan{key: string(p[:keyLen])}
+	p = p[keyLen:]
+	if len(p) < 1 {
+		return nil, fmt.Errorf("translate: truncated payload")
+	}
+	stratLen := int(p[0])
+	p = p[1:]
+	if stratLen > len(p) {
+		return nil, fmt.Errorf("translate: strategy name overruns payload")
+	}
+	s.strat = string(p[:stratLen])
+	p = p[stratLen:]
+	samples, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	s.samples = int(samples)
+	seed, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	s.seed = int64(seed)
+	l, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	s.l = int(l)
+	rows, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	s.rows = int(rows)
+	sa, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	s.sensA = math.Float64frombits(sa)
+	fr, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	s.frobR = math.Float64frombits(fr)
+	nzs, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nzs) != s.samples {
+		return nil, fmt.Errorf("translate: %d samples framed, header says %d", nzs, s.samples)
+	}
+	if len(p) != 8*int(nzs) {
+		return nil, fmt.Errorf("translate: sample block is %d bytes, want %d", len(p), 8*int(nzs))
+	}
+	s.zs = make([]float64, nzs)
+	for i := range s.zs {
+		s.zs[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return s, nil
+}
+
+// decodeSidecar parses a whole sidecar. It returns every plan from the
+// valid frame prefix plus corrupt=true if anything after that prefix is
+// damaged (bad magic, bad CRC, truncation, undecodable payload).
+func decodeSidecar(data []byte) (plans []*storedPlan, corrupt bool) {
+	if len(data) < len(sidecarMagic)+4 ||
+		string(data[:len(sidecarMagic)]) != sidecarMagic ||
+		binary.LittleEndian.Uint32(data[len(sidecarMagic):]) != sidecarVersion {
+		return nil, true
+	}
+	p := data[len(sidecarMagic)+4:]
+	for len(p) > 0 {
+		if len(p) < 8 {
+			return plans, true
+		}
+		n := binary.LittleEndian.Uint32(p)
+		crc := binary.LittleEndian.Uint32(p[4:])
+		p = p[8:]
+		if n > maxSidecarFrame || int(n) > len(p) {
+			return plans, true
+		}
+		payload := p[:n]
+		p = p[n:]
+		if crc32.Checksum(payload, crcTable) != crc {
+			return plans, true
+		}
+		s, err := decodeStoredPlan(payload)
+		if err != nil {
+			return plans, true
+		}
+		plans = append(plans, s)
+	}
+	return plans, false
+}
+
+// persist rewrites the sidecar from the cache's current content. It is
+// best-effort: a failed write costs only restart cheapness (counted in
+// PersistFailures), never a translation.
+func (c *Cache) persist() {
+	if c.path == "" {
+		return
+	}
+	c.persistMu.Lock()
+	defer c.persistMu.Unlock()
+
+	c.mu.Lock()
+	plans := make([]*storedPlan, 0, len(c.entries)+len(c.stored))
+	for _, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.err == nil && e.plan != nil {
+				plans = append(plans, planToStored(e.plan))
+			}
+		default: // in flight; its own completion will persist again
+		}
+	}
+	for _, s := range c.stored {
+		plans = append(plans, s)
+	}
+	c.mu.Unlock()
+
+	// Deterministic order: byte-identical cache content yields a
+	// byte-identical sidecar.
+	sort.Slice(plans, func(i, j int) bool {
+		a, b := plans[i], plans[j]
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		if a.strat != b.strat {
+			return a.strat < b.strat
+		}
+		return a.samples < b.samples
+	})
+
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, sidecarMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, sidecarVersion)
+	for _, s := range plans {
+		buf = encodeStoredPlan(buf, s)
+	}
+	if err := atomicWriteFile(c.path, buf); err != nil {
+		c.persistFails.Add(1)
+	}
+}
+
+// LoadSidecar reads the persisted plans back into the cache (the
+// recovery path). Plans land in the stored set and are promoted to live
+// entries on first ask, so loading never pays a pseudoinverse. A corrupt
+// sidecar is quarantined — renamed aside with the catalog's quarantine
+// suffix — and immediately rewritten from its valid frame prefix; the
+// quarantined path is returned for logging.
+func (c *Cache) LoadSidecar() (loaded int, quarantined string, err error) {
+	if c.path == "" {
+		return 0, "", nil
+	}
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return 0, "", nil
+	}
+	if err != nil {
+		return 0, "", fmt.Errorf("translate: read sidecar: %w", err)
+	}
+	plans, corrupt := decodeSidecar(data)
+	c.mu.Lock()
+	for _, s := range plans {
+		c.stored[planKey{workload: s.key, strat: s.strat, samples: s.samples}] = s
+	}
+	c.mu.Unlock()
+	c.loads.Add(int64(len(plans)))
+	if !corrupt {
+		return len(plans), "", nil
+	}
+	quarantined = c.path + sidecarQuarantineSuffix
+	// A leftover quarantine from an earlier life is replaced, matching
+	// the segment quarantine policy: newest corrupt artifact wins.
+	if rerr := os.Rename(c.path, quarantined); rerr != nil {
+		return len(plans), "", fmt.Errorf("translate: quarantine sidecar: %w", rerr)
+	}
+	_ = syncDir(filepath.Dir(c.path))
+	c.rebuilds.Add(1)
+	c.persist() // rebuild immediately from the valid prefix
+	return len(plans), quarantined, nil
+}
+
+// planToStored strips a live plan to its persistable fields.
+func planToStored(p *Plan) *storedPlan {
+	return &storedPlan{
+		key:     p.Key,
+		strat:   p.Strategy,
+		samples: p.Samples,
+		seed:    p.Seed,
+		l:       p.l,
+		rows:    p.rows,
+		sensA:   p.SensA,
+		frobR:   p.FrobR,
+		zs:      p.Zs,
+	}
+}
+
+// atomicWriteFile writes data to path via a same-directory temp file,
+// fsync, rename, directory fsync — the catalog's durability discipline.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,450 @@
+package translate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/strategy"
+	"repro/internal/workload"
+)
+
+// fixture holds one schema and a helper to transform histogram workloads
+// over it. All workloads from one fixture share the schema pointer, as
+// the server's per-dataset wiring guarantees.
+type fixture struct {
+	schema *dataset.Schema
+}
+
+func newFixture(t *testing.T, domain float64) *fixture {
+	t.Helper()
+	s := dataset.MustSchema(
+		dataset.Attribute{Name: "v", Kind: dataset.Continuous, Min: 0, Max: domain},
+	)
+	return &fixture{schema: s}
+}
+
+// histogram transforms a bins-bucket histogram workload over [0, bins·width).
+func (f *fixture) histogram(t *testing.T, bins int, width float64) *workload.Transformed {
+	t.Helper()
+	preds, err := workload.Histogram1D("v", 0, width*float64(bins), width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Transform(f.schema, preds, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// prefix transforms a prefix-sums workload (sensitivity L under identity).
+func (f *fixture) prefix(t *testing.T, bins int, width float64) *workload.Transformed {
+	t.Helper()
+	preds, err := workload.Prefix1D("v", 0, width*float64(bins), width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Transform(f.schema, preds, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] { // bit-identical, not approximately equal
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanDeterministicAcrossCaches: two independent caches (two "process
+// lives") must compute bit-identical samples for the same workload.
+func TestPlanDeterministicAcrossCaches(t *testing.T) {
+	f := newFixture(t, 80)
+	p1, err := NewCache("").Plan(f.histogram(t, 8, 10), strategy.H2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewCache("").Plan(f.histogram(t, 8, 10), strategy.H2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(p1.Zs, p2.Zs) {
+		t.Fatal("same workload, fresh caches: samples must be bit-identical")
+	}
+	if p1.Seed != p2.Seed || p1.SensA != p2.SensA || p1.FrobR != p2.FrobR {
+		t.Fatalf("plan scalars diverged: %+v vs %+v", p1, p2)
+	}
+}
+
+// TestPlanOrderIndependent: the samples a workload sees must not depend
+// on how many plans the cache computed before it (the old sampler seeded
+// with len(cache)+1 and broke exactly this).
+func TestPlanOrderIndependent(t *testing.T) {
+	f := newFixture(t, 80)
+	mk := func() (*workload.Transformed, *workload.Transformed) {
+		return f.histogram(t, 8, 10), f.prefix(t, 8, 10)
+	}
+
+	cAB := NewCache("")
+	h1, p1 := mk()
+	planA1, err := cAB.Plan(h1, strategy.H2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planB1, err := cAB.Plan(p1, strategy.H2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cBA := NewCache("")
+	h2, p2 := mk()
+	planB2, err := cBA.Plan(p2, strategy.H2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planA2, err := cBA.Plan(h2, strategy.H2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !sameFloats(planA1.Zs, planA2.Zs) {
+		t.Fatal("histogram samples depend on translation order")
+	}
+	if !sameFloats(planB1.Zs, planB2.Zs) {
+		t.Fatal("prefix samples depend on translation order")
+	}
+}
+
+// TestBatchMatchesSolo: a batch-vectorized translation (one shared sample
+// matrix for the group) must be bit-identical to translating each
+// workload alone in a fresh cache.
+func TestBatchMatchesSolo(t *testing.T) {
+	f := newFixture(t, 80)
+	hist := f.histogram(t, 8, 10)
+	pref := f.prefix(t, 8, 10)
+
+	batch := NewCache("")
+	// Same strategy shape (H2 over 8 partitions): one sample matrix for both.
+	n := batch.TranslateBatch([]Item{
+		{Tr: hist, Strategy: strategy.H2, Samples: 300},
+		{Tr: pref, Strategy: strategy.H2, Samples: 300},
+	})
+	if n != 2 {
+		t.Fatalf("TranslateBatch computed %d plans, want 2", n)
+	}
+	bh, err := batch.Plan(hist, strategy.H2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := batch.Plan(pref, strategy.H2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batch.Stats(); got.Misses != 2 || got.Hits != 2 {
+		t.Fatalf("stats after batch+2 asks: %+v, want 2 misses 2 hits", got)
+	}
+
+	sh, err := NewCache("").Plan(f.histogram(t, 8, 10), strategy.H2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewCache("").Plan(f.prefix(t, 8, 10), strategy.H2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(bh.Zs, sh.Zs) {
+		t.Fatal("batched histogram samples differ from the solo path")
+	}
+	if !sameFloats(bp.Zs, sp.Zs) {
+		t.Fatal("batched prefix samples differ from the solo path")
+	}
+
+	// Re-batching is free: everything is cached.
+	if n := batch.TranslateBatch([]Item{
+		{Tr: hist, Strategy: strategy.H2, Samples: 300},
+		{Tr: pref, Strategy: strategy.H2, Samples: 300},
+	}); n != 0 {
+		t.Fatalf("second TranslateBatch computed %d plans, want 0", n)
+	}
+}
+
+// TestSingleflight: concurrent askers of one fresh workload must share a
+// single Monte-Carlo computation.
+func TestSingleflight(t *testing.T) {
+	f := newFixture(t, 80)
+	tr := f.histogram(t, 8, 10)
+	c := NewCache("")
+
+	const askers = 16
+	plans := make([]*Plan, askers)
+	var wg sync.WaitGroup
+	for i := 0; i < askers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Plan(tr, strategy.H2, 1000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("%d askers paid %d computations, want 1", askers, st.Misses)
+	}
+	if st.Hits != askers-1 {
+		t.Fatalf("hits = %d, want %d", st.Hits, askers-1)
+	}
+	for i := 1; i < askers; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("askers must share one plan instance")
+		}
+	}
+}
+
+// TestSidecarRoundtrip: persist, reload in a fresh cache, serve the plan
+// bit-identically — and the lazily rebuilt reconstruction must pass its
+// fingerprint check.
+func TestSidecarRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "translate.tc")
+	f := newFixture(t, 80)
+
+	c1 := NewCache(path)
+	orig, err := c1.Plan(f.histogram(t, 8, 10), strategy.H2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache(path)
+	loaded, quarantined, err := c2.LoadSidecar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantined != "" {
+		t.Fatalf("healthy sidecar quarantined: %s", quarantined)
+	}
+	if loaded != 1 {
+		t.Fatalf("loaded %d plans, want 1", loaded)
+	}
+	tr := f.histogram(t, 8, 10)
+	got, err := c2.Plan(tr, strategy.H2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(got.Zs, orig.Zs) {
+		t.Fatal("sidecar-loaded samples differ from the computed ones")
+	}
+	if got.Seed != orig.Seed || got.SensA != orig.SensA || got.FrobR != orig.FrobR {
+		t.Fatal("sidecar-loaded scalars differ from the computed ones")
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.Hits != 1 || st.Loads != 1 {
+		t.Fatalf("stats after sidecar serve: %+v, want 0 misses 1 hit 1 load", st)
+	}
+	if _, err := got.Reconstruction(); err != nil {
+		t.Fatalf("rebuilt reconstruction failed its fingerprint check: %v", err)
+	}
+}
+
+// TestSidecarCorruptionQuarantinesAndRebuilds: a bit flip in the last
+// frame must keep the valid prefix, rename the damaged file aside, and
+// rewrite a clean sidecar.
+func TestSidecarCorruptionQuarantinesAndRebuilds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "translate.tc")
+	f := newFixture(t, 80)
+
+	hist := f.histogram(t, 4, 10)
+	pref := f.prefix(t, 4, 10)
+	c1 := NewCache(path)
+	origHist, err := c1.Plan(hist, strategy.H2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPref, err := c1.Plan(pref, strategy.H2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit inside the last frame's sample block; the first frame
+	// (whichever plan sorts first in the file) stays valid.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache(path)
+	loaded, quarantined, err := c2.LoadSidecar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 {
+		t.Fatalf("loaded %d plans from the valid prefix, want 1", loaded)
+	}
+	if quarantined == "" {
+		t.Fatal("corrupt sidecar was not quarantined")
+	}
+	if _, err := os.Stat(quarantined); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if st := c2.Stats(); st.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", st.Rebuilds)
+	}
+
+	// The rebuilt sidecar is clean and holds exactly the valid prefix.
+	c3 := NewCache(path)
+	loaded, quarantined, err = c3.LoadSidecar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quarantined != "" || loaded != 1 {
+		t.Fatalf("rebuilt sidecar: loaded=%d quarantined=%q, want 1 clean plan", loaded, quarantined)
+	}
+
+	// The surviving plan serves without resampling; the damaged one is
+	// recomputed to bit-identical samples (canonical seeds).
+	survivor, origSurvivor := hist, origHist
+	if !c2.Ready(hist.CanonicalKey()) {
+		survivor, origSurvivor = pref, origPref
+	}
+	got, err := c2.Plan(survivor, strategy.H2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(got.Zs, origSurvivor.Zs) {
+		t.Fatal("surviving plan's samples changed across quarantine")
+	}
+	if st := c2.Stats(); st.Misses != 0 {
+		t.Fatalf("surviving plan was recomputed (misses=%d)", st.Misses)
+	}
+	victim, origVictim := pref, origPref
+	if survivor == pref {
+		victim, origVictim = hist, origHist
+	}
+	regot, err := c2.Plan(victim, strategy.H2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFloats(regot.Zs, origVictim.Zs) {
+		t.Fatal("recomputed plan's samples differ from the pre-corruption ones")
+	}
+}
+
+// TestReady tracks the advisory availability probe through the plan
+// lifecycle: absent → computed → sidecar-loaded.
+func TestReady(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "translate.tc")
+	f := newFixture(t, 80)
+	tr := f.histogram(t, 8, 10)
+
+	c := NewCache(path)
+	if c.Ready(tr.CanonicalKey()) {
+		t.Fatal("empty cache reports ready")
+	}
+	if _, err := c.Plan(tr, strategy.H2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Ready(tr.CanonicalKey()) {
+		t.Fatal("computed plan not reported ready")
+	}
+
+	c2 := NewCache(path)
+	if _, _, err := c2.LoadSidecar(); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.Ready(tr.CanonicalKey()) {
+		t.Fatal("sidecar-loaded plan not reported ready")
+	}
+}
+
+// TestCacheCapResets: crossing maxEntries drops the cache wholesale
+// rather than growing without bound.
+func TestCacheCapResets(t *testing.T) {
+	f := newFixture(t, 1e6)
+	c := NewCache("")
+	for i := 0; i < maxEntries+1; i++ {
+		// Distinct predicate constants mint distinct workload keys.
+		tr := f.histogram(t, 2, float64(i+1))
+		if _, err := c.Plan(tr, strategy.Identity{}, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > maxEntries {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, maxEntries)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("cache holds %d entries after wholesale reset, want 1", n)
+	}
+}
+
+// TestSchemaBinding: one cache serves one dataset; a workload from a
+// different schema is refused.
+func TestSchemaBinding(t *testing.T) {
+	f1 := newFixture(t, 80)
+	f2 := newFixture(t, 80)
+	c := NewCache("")
+	if _, err := c.Plan(f1.histogram(t, 4, 10), strategy.H2, 50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Plan(f2.histogram(t, 4, 10), strategy.H2, 50); err == nil {
+		t.Fatal("cache accepted a workload from a foreign schema")
+	}
+}
+
+// TestImplicitWorkloadRefused: plans need the materialized query matrix.
+func TestImplicitWorkloadRefused(t *testing.T) {
+	attrs := make([]dataset.Attribute, 30)
+	preds := make([]dataset.Predicate, 30)
+	for i := range attrs {
+		name := fmt.Sprintf("a%02d", i)
+		attrs[i] = dataset.Attribute{Name: name, Kind: dataset.Continuous, Min: 0, Max: 1}
+		preds[i] = dataset.NumCmp{Attr: name, Op: dataset.Gt, C: 0.5}
+	}
+	s := dataset.MustSchema(attrs...)
+	tr, err := workload.Transform(s, preds, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Materialized() {
+		t.Fatal("fixture should be implicit")
+	}
+	if _, err := NewCache("").Plan(tr, strategy.H2, 50); err == nil {
+		t.Fatal("implicit workload must be refused")
+	}
+}
+
+// TestSampleSeedCanonical pins the seed derivation: shape-dependent,
+// workload- and order-independent.
+func TestSampleSeedCanonical(t *testing.T) {
+	a := SampleSeed("h2", 1000, 15)
+	if b := SampleSeed("h2", 1000, 15); a != b {
+		t.Fatal("seed is not a pure function of its inputs")
+	}
+	if b := SampleSeed("identity", 1000, 15); a == b {
+		t.Fatal("seed ignores the strategy")
+	}
+	if b := SampleSeed("h2", 2000, 15); a == b {
+		t.Fatal("seed ignores the sample count")
+	}
+	if b := SampleSeed("h2", 1000, 31); a == b {
+		t.Fatal("seed ignores the matrix rows")
+	}
+}

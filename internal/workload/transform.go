@@ -74,6 +74,13 @@ type Transformed struct {
 	kOnce sync.Once
 	k     colKernels
 	memo  *evalMemo
+
+	// keyOnce/key lazily cache the canonical workload key (Key over
+	// preds) so per-query consumers — the strategy-translation cache
+	// looks plans up by it on every Translate — don't re-render the
+	// predicates each time.
+	keyOnce sync.Once
+	key     string
 }
 
 // colKernels holds the compiled columnar evaluators for one workload.
@@ -188,6 +195,15 @@ func (tr *Transformed) Predicates() []dataset.Predicate { return tr.preds }
 
 // Schema returns the public schema.
 func (tr *Transformed) Schema() *dataset.Schema { return tr.schema }
+
+// CanonicalKey returns Key(tr.Predicates()), computed once and cached.
+// It identifies the workload across caches: the transformation cache,
+// the answer-reuse cache and the strategy-translation cache all agree on
+// it.
+func (tr *Transformed) CanonicalKey() string {
+	tr.keyOnce.Do(func() { tr.key = Key(tr.preds) })
+	return tr.key
+}
 
 // Sensitivity returns ‖W‖₁, the workload sensitivity (max number of
 // predicates any single tuple can satisfy).

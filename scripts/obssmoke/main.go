@@ -41,6 +41,7 @@ const (
 	schemaJSON = `{"attributes":[{"name":"age","kind":"continuous","min":0,"max":100},{"name":"state","kind":"categorical","values":["CA","NY","TX"]}]}`
 	queryText  = "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 50 CONFIDENCE 0.95;"
 	requestID  = "obssmoke-trace-1"
+	requestID2 = "obssmoke-trace-2"
 )
 
 func main() {
@@ -161,6 +162,27 @@ func run() error {
 	}
 	fmt.Printf("obssmoke: trace %s has phases %v\n", requestID, keys(phases))
 
+	// ---- translation plane: a second ask of the same workload must hit
+	// the shared per-dataset plan cache, visible as the prepare→translate
+	// span's translate_cache_hit attribute.
+	hdr2 := http.Header{"X-Request-Id": []string{requestID2}}
+	if _, err := post(base+"/v1/sessions/"+id+"/query", hdr2, map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("second query: %w", err)
+	}
+	view2, err := awaitTrace(base, requestID2)
+	if err != nil {
+		return err
+	}
+	tl := findSpanView(view2, "translate")
+	if tl == nil {
+		return fmt.Errorf("trace %s has no translate span", requestID2)
+	}
+	attrs, _ := tl["attrs"].(map[string]any)
+	if hit, ok := attrs["translate_cache_hit"].(bool); !ok || !hit {
+		return fmt.Errorf("trace %s translate span: translate_cache_hit = %v, want true", requestID2, attrs["translate_cache_hit"])
+	}
+	fmt.Printf("obssmoke: trace %s translate span reports translate_cache_hit=true\n", requestID2)
+
 	// The slow-query log line carries the same trace ID.
 	deadline := time.Now().Add(5 * time.Second)
 	var slow string
@@ -200,6 +222,17 @@ func run() error {
 	if !strings.Contains(string(metrics), `phase="total"`) {
 		return fmt.Errorf("/metrics apex_phase_seconds has no total phase sample")
 	}
+	// Translation-plane counters: at least one sampling miss (the first
+	// ask) and one cache hit (the second) on the smoke dataset.
+	for _, want := range []string{
+		`apex_translate_cache_misses{dataset="smoke"}`,
+		`apex_translate_cache_hits{dataset="smoke"}`,
+	} {
+		if !hasNonzeroSample(string(metrics), want) {
+			return fmt.Errorf("/metrics has no nonzero sample for %s", want)
+		}
+	}
+	fmt.Println("obssmoke: /metrics exports nonzero apex_translate_cache_{hits,misses}")
 
 	// The private debug listener answers pprof and runtime gauges.
 	dbgBase := "http://" + debugAddr
@@ -277,6 +310,44 @@ func flattenPhases(view map[string]any) (map[string]bool, error) {
 		}
 	}
 	return phases, nil
+}
+
+// findSpanView walks a rendered trace depth-first for a span by name.
+func findSpanView(view map[string]any, name string) map[string]any {
+	var walk func(spans []any) map[string]any
+	walk = func(spans []any) map[string]any {
+		for _, s := range spans {
+			sp, _ := s.(map[string]any)
+			if sp["name"] == name {
+				return sp
+			}
+			if children, ok := sp["spans"].([]any); ok {
+				if found := walk(children); found != nil {
+					return found
+				}
+			}
+		}
+		return nil
+	}
+	if spans, ok := view["spans"].([]any); ok {
+		return walk(spans)
+	}
+	return nil
+}
+
+// hasNonzeroSample reports whether the exposition payload has a sample
+// line for the exact series prefix with a value other than 0.
+func hasNonzeroSample(metrics, series string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
 }
 
 func keys(m map[string]bool) []string {
