@@ -27,15 +27,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/accuracy"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/mechanism"
+	"repro/internal/metrics"
 	"repro/internal/noise"
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sched"
+	"repro/internal/scrub"
 	"repro/internal/workload"
 )
 
@@ -64,7 +67,7 @@ func schedBenchQuery(b *testing.B, n int64) *query.Query {
 
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	for _, analysts := range []int{1, 8, 64} {
-		for _, mode := range []string{"direct", "sched", "traced"} {
+		for _, mode := range []string{"direct", "sched", "traced", "scrubbed"} {
 			b.Run(fmt.Sprintf("analysts=%d/%s", analysts, mode), func(b *testing.B) {
 				d := columnarBenchTable(schedBenchRows(b))
 				cache := workload.NewTransformCache(workload.Options{})
@@ -94,6 +97,29 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 				var tracer *obs.Tracer
 				if mode == "traced" {
 					tracer = obs.New(obs.Config{})
+				}
+				// "scrubbed" is "sched" with the continuous verification
+				// plane live: a background scrubber re-validating every
+				// engine's transcript (Definition 6.1) and cross-checking
+				// its spent counter once per 100ms, concurrent with the
+				// query load — the delta against "sched" is the
+				// verification overhead.
+				if mode == "scrubbed" {
+					sc := scrub.New(scrub.Config{
+						Interval: 100 * time.Millisecond,
+						Metrics:  metrics.NewRegistry(),
+						Sessions: func() []scrub.SessionAccounting {
+							out := make([]scrub.SessionAccounting, len(engines))
+							for i, e := range engines {
+								out[i] = scrub.SessionAccounting{
+									ID: fmt.Sprintf("s%d", i), Dataset: "adult", Engine: e,
+								}
+							}
+							return out
+						},
+					})
+					sc.Start()
+					defer sc.Stop()
 				}
 				var next atomic.Int64
 				b.ResetTimer()

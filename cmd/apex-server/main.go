@@ -84,6 +84,12 @@ func main() {
 			"raw column bytes at/above which a durable dataset is served from its mmap'd column-store segment instead of the heap (0 = always mmap, negative = never)")
 		coldStart = flag.Bool("cold-start", false,
 			"recover datasets strictly from column-store segments: never re-parse source CSV (entries without a valid segment are skipped)")
+		scrubInterval = flag.Duration("scrub-interval", 0,
+			"pause between background integrity-scrub cycles (segment/WAL/sidecar checksums, live transcript re-validation); 0 = scrubbing off")
+		scrubRate = flag.Int64("scrub-rate", 64,
+			"scrub read-rate limit in MiB/s so verification never competes with query service for disk bandwidth (0 = unpaced)")
+		adaptiveSched = flag.Bool("adaptive-sched", false,
+			"let the scheduler tune GatherDelay/MaxBatch per dataset from live queue-wait histograms (decisions are logged and exported as gauges)")
 	)
 	flag.Var(&datasets, "dataset", "dataset to host as name=data.csv,schema.file (repeatable)")
 	flag.Parse()
@@ -148,17 +154,26 @@ func main() {
 		AllowSeeds:  *allowSeeds,
 		Store:       st,
 		Sched: sched.Config{
-			QueueDepth: *queueDepth,
-			Workers:    *schedWorkers,
-			MaxBatch:   *maxBatch,
-			RetryAfter: *retryAfter,
+			QueueDepth:  *queueDepth,
+			Workers:     *schedWorkers,
+			MaxBatch:    *maxBatch,
+			RetryAfter:  *retryAfter,
+			Adaptive:    *adaptiveSched,
+			AdaptiveLog: os.Stderr,
 		},
 		Trace: server.TraceConfig{
 			Disable:   *disableTrace,
 			Capacity:  *traceCap,
 			SlowQuery: *slowQuery,
 		},
+		Scrub: server.ScrubConfig{
+			Interval:        *scrubInterval,
+			ReadBytesPerSec: *scrubRate << 20,
+		},
 	})
+	if *scrubInterval > 0 {
+		log.Printf("apex-server: background scrubber on: cycle every %s, reads paced at %d MiB/s", *scrubInterval, *scrubRate)
+	}
 
 	// The debug listener is opt-in and separate from the public one, so
 	// profiling endpoints (pprof can dump heap contents) never share a

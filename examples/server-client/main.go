@@ -64,7 +64,8 @@ func main() {
 	if _, err := reg.AddCSV("archive", schema, []byte(makeCSV(50_000))); err != nil {
 		log.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(reg, server.Config{MaxBudget: 2, AllowSeeds: true}).Handler())
+	srv := server.New(reg, server.Config{MaxBudget: 2, AllowSeeds: true})
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	// Four analysts, each with an isolated budget and its own slice of
@@ -142,6 +143,39 @@ func main() {
 	fmt.Println("\ndataset storage (from /metrics):")
 	for _, l := range storageSummary(string(body)) {
 		fmt.Println("  " + l)
+	}
+
+	// Health & continuous verification: drive one scrub cycle by hand (the
+	// background loop is off in this example), then fetch the liveness,
+	// readiness and per-dataset budget-burn reports an operator would poll.
+	rep := srv.Scrubber().RunCycle()
+	fmt.Printf("\nscrub cycle: %d checks, %d bytes verified, %d violations\n",
+		rep.Checks, rep.BytesRead, len(rep.Violations))
+	hz, err := c.Healthz()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rz, err := c.Readyz()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("health: %s (uptime %.1fs, %d datasets, %d sessions); ready: %s\n",
+		hz.Status, hz.UptimeSeconds, hz.Datasets, hz.Sessions, rz.Status)
+	for _, chk := range rz.Checks {
+		fmt.Printf("  check %-12s %-9s %s\n", chk.Name, chk.Status, chk.Detail)
+	}
+	fmt.Println("\nbudget burn (from /v1/datasets/{name}/budget):")
+	for _, ds := range []string{"people", "archive"} {
+		b, err := c.Budget(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-8s %d session(s), spent %.3f of %.3f (%.3f remaining), burn %.4f eps/s",
+			b.Dataset, b.Sessions, b.Spent, b.Budget, b.Remaining, b.BurnRatePerSecond)
+		if b.ExhaustedInSeconds != nil {
+			line += fmt.Sprintf(", exhausted in ~%.0fs", *b.ExhaustedInSeconds)
+		}
+		fmt.Println("  " + line)
 	}
 }
 

@@ -52,7 +52,26 @@ func Open(path string) (*Segment, error) {
 	return seg, nil
 }
 
-func open(f *os.File, path string) (*Segment, error) {
+// segMeta is everything validation learns about a segment file before it
+// is mapped: decoded header and directory, schema, and the ordered
+// checksummed regions with their total payload size.
+type segMeta struct {
+	h         *header
+	dir       directory
+	schema    *dataset.Schema
+	rows      int
+	regions   []region
+	dataBytes int64
+	size      int64
+}
+
+// validateFile runs the segment's full structural and checksum validation
+// — header, directory bounds + CRC + JSON, schema agreement, per-column
+// region structure, then one sequential bounded-buffer checksum pass over
+// every region in file order. It never maps the file, so it is equally
+// the open-time gate and the background scrubber's re-verification
+// primitive (reads go through a 1 MiB buffer, not the hot mapping).
+func validateFile(f *os.File) (*segMeta, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("colstore: %w", err)
@@ -152,13 +171,20 @@ func open(f *os.File, path string) (*Segment, error) {
 			return nil, err
 		}
 	}
+	return &segMeta{h: h, dir: dir, schema: schema, rows: rows, regions: regions, dataBytes: dataBytes, size: size}, nil
+}
 
-	data, mapped, err := mapFile(f, size)
+func open(f *os.File, path string) (*Segment, error) {
+	m, err := validateFile(f)
+	if err != nil {
+		return nil, err
+	}
+	data, mapped, err := mapFile(f, m.size)
 	if err != nil {
 		return nil, fmt.Errorf("colstore: mmap: %w", err)
 	}
-	seg := &Segment{path: path, f: f, data: data, mapped: mapped, rows: rows, dataBytes: dataBytes}
-	table, err := seg.buildTable(schema, rows, &dir)
+	seg := &Segment{path: path, f: f, data: data, mapped: mapped, rows: m.rows, dataBytes: m.dataBytes}
+	table, err := seg.buildTable(m.schema, m.rows, &m.dir)
 	if err != nil {
 		seg.unmap()
 		return nil, err
@@ -166,6 +192,25 @@ func open(f *os.File, path string) (*Segment, error) {
 	table.SetPrefetch(seg.Advise)
 	seg.table = table
 	return seg, nil
+}
+
+// Verify re-runs the full open-time validation of the segment at path —
+// header, directory CRC, structural bounds and every region checksum —
+// through bounded sequential reads, without ever mapping the file. It is
+// the background scrubber's segment check: cheap on the resident set,
+// strict on the bytes. It returns the number of payload bytes checksummed
+// (for read-rate pacing); a corrupt file returns ErrCorrupt.
+func Verify(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("colstore: %w", err)
+	}
+	defer f.Close()
+	m, err := validateFile(f)
+	if err != nil {
+		return 0, err
+	}
+	return int64(headerSize) + int64(m.h.dirLen) + m.dataBytes, nil
 }
 
 // buildTable assembles the zero-copy column views and hands them to

@@ -381,6 +381,43 @@ func (e *Engine) TranscriptLen() int {
 	return len(e.log)
 }
 
+// VerifyAccounting is the background scrubber's live invariant check,
+// one atomic look at both halves of the accounting: the transcript must
+// pass Definition 6.1 against the budget, and the spent counter — the
+// number admission control actually gates on — must equal the
+// transcript-derived cumulative loss. Both are read under one lock hold,
+// so no commit can slip between the two reads and fake a divergence. It
+// returns the transcript-derived loss and, on failure, an error that
+// starts with "transcript:" (invalid history) or "spent counter:"
+// (counter drifted from the history it is supposed to summarize).
+func (e *Engine) VerifyAccounting() (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	logSpent, err := ValidateTranscript(e.log, e.budget)
+	if err != nil {
+		return logSpent, fmt.Errorf("transcript: %w", err)
+	}
+	diff := e.spent - logSpent
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > epsTol {
+		return logSpent, fmt.Errorf("spent counter: engine charges %v, transcript sums to %v (drift %v)",
+			e.spent, logSpent, diff)
+	}
+	return logSpent, nil
+}
+
+// TestingSkewSpent adjusts the spent counter without touching the
+// transcript — a deliberate accounting bug, injectable only from tests,
+// so the scrubber's divergence detection can be exercised against a
+// mis-accounted engine.
+func (e *Engine) TestingSkewSpent(delta float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.spent += delta
+}
+
 // Choice describes one mechanism's translation for a query; used by
 // Translations for inspection and by the experiment harness.
 type Choice struct {

@@ -1,0 +1,183 @@
+package sched
+
+// Adaptive GatherDelay/MaxBatch tuning — the feedback controller behind
+// Config.Adaptive. The static knobs trade latency for coalescing at one
+// fixed point; the controller moves that point per dataset from what the
+// live queue-wait histogram actually observes:
+//
+//   - When the mean queue wait over the observation window is many times
+//     the current gather delay, requests are already waiting far longer
+//     than the straggler window costs — widening the window (and the
+//     batch cap with it) buys more coalescing for latency that is being
+//     paid anyway.
+//   - When the mean wait falls well below the gather delay, the window
+//     itself has become the dominant latency — shrink it back toward
+//     (and below) the configured baseline.
+//
+// Knobs only move within hard bounds (gather: baseline/4 clamped to
+// ≥ minGatherFloor, up to maxGatherCeil; batch: baseline up to
+// maxBatchCeil), every adjustment is exposed as gauges and counted, and
+// each decision is logged as one JSON line — the controller is meant to
+// be watched, not trusted blindly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultAdaptiveInterval is the controller's observation window when
+// Config.AdaptiveInterval is unset.
+const DefaultAdaptiveInterval = time.Second
+
+const (
+	// raisePressure and lowerPressure bound the dead zone: mean wait over
+	// gather delay above raisePressure widens the window, below
+	// lowerPressure shrinks it. Between them the controller holds still.
+	raisePressure = 4.0
+	lowerPressure = 0.5
+
+	minGatherFloor = 50 * time.Microsecond
+	maxGatherCeil  = 5 * time.Millisecond
+	maxBatchCeil   = 256
+)
+
+// decideTuning is the controller's pure decision function (unit-tested
+// directly): given the window's mean queue wait and the current and
+// baseline knob values, it returns the next knob values and the decision
+// direction ("up", "down", or "" for hold).
+func decideTuning(avgWait, curGather time.Duration, curBatch int, baseGather time.Duration, baseBatch int) (time.Duration, int, string) {
+	if curGather <= 0 {
+		return curGather, curBatch, ""
+	}
+	pressure := float64(avgWait) / float64(curGather)
+	switch {
+	case pressure > raisePressure:
+		g := curGather * 2
+		if g > maxGatherCeil {
+			g = maxGatherCeil
+		}
+		b := curBatch * 2
+		if b > maxBatchCeil {
+			b = maxBatchCeil
+		}
+		if g == curGather && b == curBatch {
+			return curGather, curBatch, ""
+		}
+		return g, b, "up"
+	case pressure < lowerPressure:
+		floor := baseGather / 4
+		if floor < minGatherFloor {
+			floor = minGatherFloor
+		}
+		g := curGather / 2
+		if g < floor {
+			g = floor
+		}
+		b := curBatch / 2
+		if b < baseBatch {
+			b = baseBatch
+		}
+		if g == curGather && b == curBatch {
+			return curGather, curBatch, ""
+		}
+		return g, b, "down"
+	default:
+		return curGather, curBatch, ""
+	}
+}
+
+// adaptLoop is the controller goroutine: once per interval it reads each
+// queue's wait-histogram delta and applies decideTuning.
+func (s *Scheduler) adaptLoop() {
+	defer close(s.adaptDone)
+	t := time.NewTicker(s.cfg.AdaptiveInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.adaptStop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			queues := make([]*dsQueue, 0, len(s.queues))
+			for _, q := range s.queues {
+				queues = append(queues, q)
+			}
+			s.mu.Unlock()
+			for _, q := range queues {
+				s.adaptQueue(q)
+			}
+		}
+	}
+}
+
+// adaptQueue applies one controller step to one dataset queue. It runs
+// only from the adaptLoop goroutine, so the last* delta fields need no
+// lock of their own.
+func (s *Scheduler) adaptQueue(d *dsQueue) {
+	if d.waitTime == nil {
+		return
+	}
+	count, sum := d.waitTime.Count(), d.waitTime.Sum()
+	dc, ds := count-d.lastWaitCount, sum-d.lastWaitSum
+	d.lastWaitCount, d.lastWaitSum = count, sum
+	if dc == 0 {
+		return // idle window: nothing observed, nothing to conclude
+	}
+	avgWait := time.Duration(ds / float64(dc) * float64(time.Second))
+	curGather, curBatch := d.gatherDelay(), d.maxBatch()
+	newGather, newBatch, dir := decideTuning(avgWait, curGather, curBatch, s.cfg.GatherDelay, s.cfg.MaxBatch)
+
+	if d.gatherGauge == nil {
+		m := s.cfg.Metrics
+		d.gatherGauge = m.Gauge("apex_sched_gather_delay_seconds",
+			"Current straggler-gather window per dataset (moves only under adaptive tuning).",
+			metrics.L("dataset", d.name))
+		d.batchGauge = m.Gauge("apex_sched_max_batch",
+			"Current batch-size cap per dataset (moves only under adaptive tuning).",
+			metrics.L("dataset", d.name))
+		d.adjustUp = m.Counter("apex_sched_adaptive_adjustments_total",
+			"Adaptive tuning adjustments by direction.",
+			metrics.L("dataset", d.name), metrics.L("direction", "up"))
+		d.adjustDown = m.Counter("apex_sched_adaptive_adjustments_total",
+			"Adaptive tuning adjustments by direction.",
+			metrics.L("dataset", d.name), metrics.L("direction", "down"))
+	}
+	d.gatherGauge.Set(newGather.Seconds())
+	d.batchGauge.Set(float64(newBatch))
+	if dir == "" {
+		return
+	}
+	d.gatherDelayNs.Store(int64(newGather))
+	d.maxBatchN.Store(int32(newBatch))
+	if dir == "up" {
+		d.adjustUp.Inc()
+	} else {
+		d.adjustDown.Inc()
+	}
+	if s.cfg.AdaptiveLog != nil {
+		line, err := json.Marshal(map[string]any{
+			"msg":          "sched adaptive tuning",
+			"dataset":      d.name,
+			"direction":    dir,
+			"avg_wait":     avgWait.String(),
+			"gather_delay": newGather.String(),
+			"max_batch":    newBatch,
+			"window_obs":   dc,
+		})
+		if err == nil {
+			fmt.Fprintf(s.cfg.AdaptiveLog, "%s\n", line)
+		}
+	}
+}
+
+// stopAdaptive halts the controller (idempotent; no-op when off).
+func (s *Scheduler) stopAdaptive() {
+	if s.adaptStop == nil {
+		return
+	}
+	s.adaptOnce.Do(func() { close(s.adaptStop) })
+	<-s.adaptDone
+}

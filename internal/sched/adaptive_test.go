@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDecideTuning(t *testing.T) {
+	base := 500 * time.Microsecond
+	cases := []struct {
+		name       string
+		avgWait    time.Duration
+		curGather  time.Duration
+		curBatch   int
+		wantGather time.Duration
+		wantBatch  int
+		wantDir    string
+	}{
+		{"dead zone holds", 500 * time.Microsecond, base, 32, base, 32, ""},
+		{"pressure doubles both", 5 * time.Millisecond, base, 32, 2 * base, 64, "up"},
+		{"idle halves both", 100 * time.Microsecond, 2 * base, 64, base, 32, "down"},
+		{"gather capped at ceiling", 100 * time.Millisecond, 4 * time.Millisecond, 32, maxGatherCeil, 64, "up"},
+		{"batch capped at ceiling", 100 * time.Millisecond, base, 200, 2 * base, maxBatchCeil, "up"},
+		{"gather floored at base/4", time.Nanosecond, base / 2, 32, base / 4, 32, "down"},
+		{"batch never below baseline", time.Nanosecond, base, 32, base / 2, 32, "down"},
+		{"at both bounds holds", 100 * time.Millisecond, maxGatherCeil, maxBatchCeil, maxGatherCeil, maxBatchCeil, ""},
+		{"zero gather holds", time.Second, 0, 32, 0, 32, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, b, dir := decideTuning(tc.avgWait, tc.curGather, tc.curBatch, base, 32)
+			if g != tc.wantGather || b != tc.wantBatch || dir != tc.wantDir {
+				t.Fatalf("decideTuning(%v, %v, %d) = (%v, %d, %q), want (%v, %d, %q)",
+					tc.avgWait, tc.curGather, tc.curBatch, g, b, dir, tc.wantGather, tc.wantBatch, tc.wantDir)
+			}
+		})
+	}
+}
+
+// TestDecideTuningFloorBelowMin: a tiny configured baseline floors at
+// minGatherFloor, never at zero.
+func TestDecideTuningFloorBelowMin(t *testing.T) {
+	g, _, dir := decideTuning(0, 100*time.Microsecond, 8, 80*time.Microsecond, 8)
+	if dir != "down" || g != minGatherFloor {
+		t.Fatalf("got (%v, %q), want floor %v", g, dir, minGatherFloor)
+	}
+}

@@ -151,6 +151,53 @@ func (c *Client) QueryWithRequestID(sessionID, queryText, requestID string) (*se
 	return &out, err
 }
 
+// Healthz fetches the liveness probe: the process is up and answering.
+func (c *Client) Healthz() (*server.LivenessResponse, error) {
+	var out server.LivenessResponse
+	return &out, c.do(http.MethodGet, "/v1/healthz", nil, &out)
+}
+
+// Readyz fetches the readiness report. Unlike every other helper it
+// decodes the body on both 200 and 503 — a degraded readyz is an answer,
+// not a transport failure — so callers inspect Status and Checks either
+// way. Any other status (or an undecodable body) is returned as an error.
+func (c *Client) Readyz() (*server.HealthResponse, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(c.BaseURL + "/v1/readyz")
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, &APIError{
+			StatusCode: resp.StatusCode,
+			Code:       "unknown",
+			Message:    string(data),
+			TraceID:    resp.Header.Get("X-Request-Id"),
+		}
+	}
+	var out server.HealthResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("client: decode readyz body: %w", err)
+	}
+	return &out, nil
+}
+
+// Budget fetches the dataset's aggregate ε position: totals across its
+// live sessions, the windowed burn rate and the time-to-exhaustion
+// estimate.
+func (c *Client) Budget(dataset string) (*server.BudgetResponse, error) {
+	var out server.BudgetResponse
+	return &out, c.do(http.MethodGet, "/v1/datasets/"+url.PathEscape(dataset)+"/budget", nil, &out)
+}
+
 // Audit fetches the dataset's budget spend timeline: every live session's
 // transcript merged chronologically, each event carrying the trace ID of
 // the request that committed it.

@@ -142,6 +142,12 @@ func lintExposition(t *testing.T, r io.Reader) {
 		"apex_phase_seconds", "apex_sched_requests_total", "apex_traces_recorded_total",
 		"apex_translate_cache_hits", "apex_translate_cache_misses",
 		"apex_translate_cache_loads", "apex_translate_cache_rebuilds",
+		"apex_ready", "apex_invariant_violations_total",
+		"apex_scrub_cycles_total", "apex_scrub_checks_total",
+		"apex_scrub_last_cycle_clean", "apex_scrub_quarantines_total",
+		"apex_dataset_budget_remaining_epsilon",
+		"apex_dataset_budget_burn_epsilon_per_second",
+		"apex_dataset_budget_exhausted_seconds",
 	} {
 		if !helpSeen[want] {
 			t.Errorf("/metrics is missing the %q family", want)

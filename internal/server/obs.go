@@ -62,7 +62,9 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 // ring: metrics scrapes, health probes and trace fetches would otherwise
 // evict the query traces an operator is there to read.
 func observedPath(p string) bool {
-	return p != "/metrics" && p != "/healthz" && !strings.HasPrefix(p, "/v1/debug/")
+	return p != "/metrics" && p != "/healthz" &&
+		p != "/v1/healthz" && p != "/v1/readyz" &&
+		!strings.HasPrefix(p, "/v1/debug/")
 }
 
 // jsonErrorWriter wraps a ResponseWriter to (a) record the final status

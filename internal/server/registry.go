@@ -346,6 +346,59 @@ func (r *Registry) attachTranslationSidecar(name string, ds *Dataset) int {
 	return loaded
 }
 
+// HealCorruptSegment is the scrubber's segment-violation response: the
+// corrupt table.seg is quarantined (renamed aside, never deleted) and a
+// fresh segment is rebuilt from the source CSV and adopted in its place,
+// so the next open — and the next restart — reads verified bytes. The
+// live serving table is deliberately left untouched: a heap table is
+// independent of the file, and an mmap table's mapping pins the old
+// inode, so in-flight queries keep their pre-rebuild view and the
+// rebuilt segment takes over on restart. Serialized with ingest via
+// ingestMu; if the segment verifies clean by the time we hold the lock
+// (a concurrent heal won), this is a no-op.
+func (r *Registry) HealCorruptSegment(name string) error {
+	r.mu.RLock()
+	st := r.store
+	r.mu.RUnlock()
+	if st == nil {
+		return fmt.Errorf("server: dataset %q: no store attached, cannot heal", name)
+	}
+	r.ingestMu.Lock()
+	defer r.ingestMu.Unlock()
+	rec, err := st.LoadDataset(name)
+	if err != nil {
+		return err
+	}
+	if rec.SegmentPath != "" {
+		if _, verr := colstore.Verify(rec.SegmentPath); verr == nil {
+			return nil // already healed
+		}
+		if _, qerr := st.QuarantineSegment(rec); qerr != nil {
+			return qerr
+		}
+		r.segmentQuarantines.Add(1)
+	}
+	csv, err := rec.ReadCSVBytes()
+	if err != nil {
+		return fmt.Errorf("server: dataset %q: rebuild needs the source CSV: %w", name, err)
+	}
+	table, err := dataset.ReadCSV(bytes.NewReader(csv), rec.Schema)
+	if err != nil {
+		return fmt.Errorf("server: dataset %q: rebuild: %w", name, err)
+	}
+	r.csvFallbacks.Add(1)
+	tmp := filepath.Join(st.DatasetDir(name), ".rebuild-"+store.SegmentFile)
+	if _, err := colstore.WriteTable(tmp, table); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: dataset %q: rebuild: %w", name, err)
+	}
+	if err := st.AdoptSegment(rec, tmp); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: dataset %q: adopt rebuilt segment: %w", name, err)
+	}
+	return nil
+}
+
 // AddCSV parses and registers a dataset from its source CSV. With a store
 // attached the rows stream through the column-store builder into a
 // durable segment (schema + CSV + segment land atomically in the catalog)

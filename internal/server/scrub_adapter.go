@@ -1,0 +1,89 @@
+package server
+
+// Glue between the server's live state and the background verification
+// plane (internal/scrub): the scrubber is deliberately ignorant of
+// registries and session managers — it sees closures that enumerate
+// artifacts and accounting units, plus heal/quarantine callbacks that
+// route every repair through the same store/colstore/translate paths
+// the rest of the server already uses.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/scrub"
+	"repro/internal/store"
+)
+
+// scrubConfig assembles the verification plane's wiring for this server.
+// On a storeless server only the in-memory checks (transcript validity,
+// spent-counter cross-check) are reachable; the file-backed closures
+// stay nil and the scrubber skips those check kinds.
+func (s *Server) scrubConfig(cfg ScrubConfig) scrub.Config {
+	sc := scrub.Config{
+		Interval:        cfg.Interval,
+		ReadBytesPerSec: cfg.ReadBytesPerSec,
+		Metrics:         s.metrics,
+		IncidentLog:     cfg.IncidentLog,
+		Sessions: func() []scrub.SessionAccounting {
+			live := s.sessions.List()
+			out := make([]scrub.SessionAccounting, 0, len(live))
+			for _, sess := range live {
+				out = append(out, scrub.SessionAccounting{
+					ID:      sess.ID,
+					Dataset: sess.Dataset,
+					WALPath: sess.LogPath(),
+					Engine:  sess.Engine(),
+				})
+			}
+			return out
+		},
+	}
+	st := s.st
+	if st == nil {
+		return sc
+	}
+	sc.Datasets = func() []scrub.DatasetArtifacts {
+		names := s.registry.Names()
+		out := make([]scrub.DatasetArtifacts, 0, len(names))
+		for _, name := range names {
+			a := scrub.DatasetArtifacts{Name: name}
+			dir := st.DatasetDir(name)
+			if p := filepath.Join(dir, store.SegmentFile); fileIsPresent(p) {
+				a.SegmentPath = p
+			}
+			if p := filepath.Join(dir, store.TranslateSidecarFile); fileIsPresent(p) {
+				a.SidecarPath = p
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	sc.SessionLogs = func() []store.SessionLogFile {
+		files, err := st.SessionLogFiles()
+		if err != nil {
+			return nil
+		}
+		return files
+	}
+	sc.HealSegment = s.registry.HealCorruptSegment
+	sc.HealSidecar = func(name string) error {
+		ds, ok := s.registry.Dataset(name)
+		if !ok || ds.Translations == nil {
+			return fmt.Errorf("server: dataset %q has no translation cache to heal", name)
+		}
+		// LoadSidecar is the cache's own quarantine-and-rebuild path: it
+		// keeps the valid prefix, moves the corrupt file aside and
+		// persists a fresh sidecar from the in-memory plans.
+		_, _, err := ds.Translations.LoadSidecar()
+		return err
+	}
+	sc.QuarantineLog = st.QuarantineLogFile
+	return sc
+}
+
+func fileIsPresent(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Mode().IsRegular()
+}

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -15,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sched"
+	"repro/internal/scrub"
 	"repro/internal/store"
 )
 
@@ -47,6 +51,24 @@ type Config struct {
 	// histograms and the slow-query log). The zero value traces with
 	// defaults; set Trace.Disable to turn span recording off.
 	Trace TraceConfig
+	// Scrub tunes the background verification plane. The scrubber itself
+	// is always constructed (its checks also run on demand and its metric
+	// families must exist from the first scrape); the paced background
+	// loop only starts when Scrub.Interval > 0.
+	Scrub ScrubConfig
+}
+
+// ScrubConfig tunes the continuous verification plane.
+type ScrubConfig struct {
+	// Interval is the pause between scrub cycles; 0 disables the
+	// background loop (cycles can still be driven via Scrubber().RunCycle).
+	Interval time.Duration
+	// ReadBytesPerSec rate-limits verification reads so scrubbing never
+	// competes with query service for disk bandwidth; 0 means unpaced.
+	ReadBytesPerSec int64
+	// IncidentLog receives one structured JSON line per integrity
+	// violation; nil means os.Stderr.
+	IncidentLog io.Writer
 }
 
 // Server wires the registry, session manager, per-dataset scheduler,
@@ -58,6 +80,20 @@ type Server struct {
 	metrics    *metrics.Registry
 	tracer     *obs.Tracer
 	allowSeeds bool
+
+	// Health plane state.
+	st       *store.Store // nil on non-durable servers
+	scrubber *scrub.Scrubber
+	budget   *budgetTracker
+	started  time.Time
+	ready    atomic.Bool
+
+	// Cached WAL-flusher fsync probe (readyz would otherwise fsync the
+	// data volume on every poll).
+	probeMu  sync.Mutex
+	probeAt  time.Time
+	probeDur time.Duration
+	probeErr error
 }
 
 // New builds a server over reg with the given policy.
@@ -83,14 +119,29 @@ func New(reg *Registry, cfg Config) *Server {
 			SlowWriter:    cfg.Trace.SlowWriter,
 		})
 	}
-	return &Server{
+	s := &Server{
 		registry:   reg,
 		sessions:   sessions,
 		sched:      sched.New(schedCfg),
 		metrics:    reg2,
 		tracer:     tracer,
 		allowSeeds: cfg.AllowSeeds,
+		st:         cfg.Store,
+		budget:     newBudgetTracker(budgetWindow),
+		started:    time.Now(),
 	}
+	// A non-durable server has nothing to recover and is born ready;
+	// a durable one becomes ready when RecoverSessions finishes.
+	s.ready.Store(cfg.Store == nil)
+	// Construct the scrubber unconditionally so every verification metric
+	// family exists from the first scrape; the paced background loop only
+	// starts when an interval is configured.
+	s.scrubber = scrub.New(s.scrubConfig(cfg.Scrub))
+	if cfg.Scrub.Interval > 0 {
+		s.scrubber.Start()
+	}
+	s.registerHealthMetrics(reg2)
+	return s
 }
 
 // RecoverSessions replays every live session log in st and re-admits the
@@ -130,6 +181,9 @@ func (s *Server) RecoverSessions(st *store.Store) (restored int, skipped []strin
 		}
 		restored++
 	}
+	// Recovery is done: the readiness gate opens even when some sessions
+	// were skipped — those are quarantined or deferred, not in limbo.
+	s.MarkReady()
 	return restored, skipped, nil
 }
 
@@ -140,6 +194,7 @@ func (s *Server) RecoverSessions(st *store.Store) (restored int, skipped []strin
 // queues empty (handlers block until their queries execute), so the
 // scheduler close only rejects work when the drain timed out.
 func (s *Server) Shutdown() error {
+	s.scrubber.Stop()
 	s.sched.Close()
 	return s.sessions.Shutdown()
 }
@@ -160,6 +215,10 @@ func (s *Server) Scheduler() *sched.Scheduler { return s.sched }
 // Tracer returns the server's request tracer, nil when tracing is
 // disabled.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Scrubber returns the background verification plane. Always non-nil;
+// tests drive deterministic cycles through it with RunCycle.
+func (s *Server) Scrubber() *scrub.Scrubber { return s.scrubber }
 
 // Wire types. Every response is JSON; errors use ErrorResponse with a
 // machine-readable code.
@@ -299,10 +358,13 @@ type TranscriptResponse struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/healthz", s.handleLiveness)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadiness)
 	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
 	mux.HandleFunc("POST /v1/datasets", s.handleAddDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}", s.handleGetDataset)
 	mux.HandleFunc("GET /v1/datasets/{name}/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/datasets/{name}/budget", s.handleBudget)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)

@@ -35,6 +35,16 @@ type Session struct {
 // Engine exposes the session's privacy engine.
 func (s *Session) Engine() *engine.Engine { return s.eng }
 
+// LogPath returns the session's on-disk WAL path ("" for memory-only
+// sessions) — the artifact the background scrubber cross-checks against
+// the live transcript.
+func (s *Session) LogPath() string {
+	if s.wal == nil {
+		return ""
+	}
+	return s.wal.Path()
+}
+
 // SessionManager creates, finds and closes sessions. Closing a session
 // only forgets it; its transcript lives in the engine, so callers that
 // need a final audit should fetch the transcript first.

@@ -142,6 +142,60 @@ func OpenWAL(path string, opts WALOptions) (w *WAL, frames [][]byte, truncated i
 	return w, frames, truncated, nil
 }
 
+// ReadWALFrames verifies the log at path without opening it for writes
+// and without repairing anything — the background scrubber's WAL check.
+// It returns every intact frame payload in order, plus tornTail: the
+// number of trailing bytes that form an incomplete frame (a write that
+// was in flight when we read, or was cut off by a crash).
+//
+// The distinction matters: on a live log a torn tail is the expected
+// shape of a concurrent append (writes land as a byte prefix, so the
+// reader sees magic + whole frames + possibly a partial last frame) and
+// must be tolerated, while on a closed log it means the final commit
+// never became durable. A CRC mismatch on a fully-present frame, a bad
+// magic, or an absurd length field is corruption either way and comes
+// back as err.
+func ReadWALFrames(path string) (frames [][]byte, tornTail int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: read WAL: %w", err)
+	}
+	if len(data) < len(walMagic) {
+		// A just-created log may not have its magic on disk yet; a prefix
+		// of the magic is torn, anything else is not a WAL.
+		if string(data) == walMagic[:len(data)] {
+			return nil, int64(len(data)), nil
+		}
+		return nil, 0, fmt.Errorf("store: %s is not a WAL (bad magic)", path)
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, fmt.Errorf("store: %s is not a WAL (bad magic)", path)
+	}
+	off := len(walMagic)
+	for {
+		if off+frameHeaderSize > len(data) {
+			return frames, int64(len(data) - off), nil // torn header
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxFrameBytes {
+			return frames, 0, fmt.Errorf("store: %s: frame %d declares %d bytes (limit %d) — corrupt length at offset %d",
+				path, len(frames), n, maxFrameBytes, off)
+		}
+		end := off + frameHeaderSize + int(n)
+		if end > len(data) {
+			return frames, int64(len(data) - off), nil // torn payload
+		}
+		payload := data[off+frameHeaderSize : end]
+		if got := crc32.Checksum(payload, crcTable); got != sum {
+			return frames, 0, fmt.Errorf("store: %s: frame %d checksum mismatch at offset %d (got %08x, want %08x)",
+				path, len(frames), off, got, sum)
+		}
+		frames = append(frames, append([]byte(nil), payload...))
+		off = end
+	}
+}
+
 // Append writes one frame and blocks until it is durable (group commit).
 // After any write or sync failure the WAL turns sticky-failed: the frame
 // boundary on disk is unknown, so all further appends return the error

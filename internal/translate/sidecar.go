@@ -205,6 +205,24 @@ func decodeSidecar(data []byte) (plans []*storedPlan, corrupt bool) {
 	return plans, false
 }
 
+// VerifySidecar checks the framing and every CRC of the sidecar at path
+// without touching any cache state — the background scrubber's sidecar
+// check. A missing file is healthy (datasets translate lazily); a file
+// whose suffix is damaged reports plans as the surviving valid-prefix
+// count and corrupt=true. Healing is the cache's job: LoadSidecar
+// quarantines and rewrites from the valid prefix.
+func VerifySidecar(path string) (plans int, corrupt bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("translate: read sidecar: %w", err)
+	}
+	decoded, corrupt := decodeSidecar(data)
+	return len(decoded), corrupt, nil
+}
+
 // persist rewrites the sidecar from the cache's current content. It is
 // best-effort: a failed write costs only restart cheapness (counted in
 // PersistFailures), never a translation.

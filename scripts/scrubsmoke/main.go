@@ -1,0 +1,378 @@
+// Command scrubsmoke is the CI smoke for the continuous verification
+// plane: it builds apex-server, starts it durable with a fast background
+// scrub cycle, serves real traffic, then corrupts the sealed column-store
+// segment on disk underneath the live process and asserts the whole
+// detect→quarantine→heal→recover loop end to end:
+//
+//   - the scrubber detects the bit flip within one cycle, visible as a
+//     nonzero apex_invariant_violations_total{kind="segment"} on /metrics
+//     and a structured incident line (with an incident ID) in the logs;
+//   - the corrupt segment is quarantined aside (table.seg.quarantined)
+//     and rebuilt from the source CSV — the rebuilt file passes a full
+//     checksum verification;
+//   - /v1/readyz reports degraded while the last cycle is dirty and
+//     returns to ok once a clean cycle completes;
+//   - queries keep answering throughout, and /v1/healthz never wavers;
+//   - SIGTERM still exits cleanly.
+//
+// It exits nonzero (with a reason) on any divergence. Run it from the
+// repository root:
+//
+//	go run ./scripts/scrubsmoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/colstore"
+)
+
+const (
+	schemaJSON = `{"attributes":[{"name":"age","kind":"continuous","min":0,"max":100},{"name":"state","kind":"categorical","values":["CA","NY","TX"]}]}`
+	queryText  = "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 50 CONFIDENCE 0.95;"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "scrubsmoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("scrubsmoke: OK — live corruption detected, quarantined, healed from CSV, readiness recovered")
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "scrubsmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	bin := filepath.Join(work, "apex-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/apex-server")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build apex-server: %w", err)
+	}
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+	dataDir := filepath.Join(work, "data")
+
+	srv, logs, err := startServerCapture(bin, addr,
+		"-data-dir", dataDir,
+		"-scrub-interval", "200ms",
+		"-scrub-rate", "64")
+	if err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	// Register a dataset and serve a real query so the scrubber has a
+	// segment, a translation sidecar path and a live session WAL to watch.
+	var csv strings.Builder
+	csv.WriteString("age,state\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&csv, "%d,%s\n", (i*37)%100, []string{"CA", "NY", "TX"}[i%3])
+	}
+	if _, err := post(base+"/v1/datasets", map[string]any{
+		"name": "smoke", "schema": json.RawMessage(schemaJSON), "csv": csv.String(),
+	}, http.StatusCreated); err != nil {
+		return fmt.Errorf("register dataset: %w", err)
+	}
+	sess, err := post(base+"/v1/sessions", map[string]any{"dataset": "smoke", "budget": 2.0}, http.StatusCreated)
+	if err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	id, _ := sess["id"].(string)
+	if id == "" {
+		return fmt.Errorf("session id missing: %v", sess)
+	}
+	if _, err := post(base+"/v1/sessions/"+id+"/query", map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("query before corruption: %w", err)
+	}
+
+	// Readiness is ok before the fault (recovery done, clean scrubs).
+	if err := awaitReadyz(base, "ok", 5*time.Second); err != nil {
+		return fmt.Errorf("pre-fault readiness: %w", err)
+	}
+
+	// ---- inject the fault: flip one byte deep inside the sealed segment,
+	// underneath the live server.
+	segPath, err := findFile(dataDir, "table.seg")
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(segPath)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)-10] ^= 0xFF
+	if err := os.WriteFile(segPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("scrubsmoke: flipped a byte in %s under the live server\n", segPath)
+
+	// The scrubber must detect it within a cycle or two: the violation
+	// counter goes nonzero and the incident line lands in the logs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		metrics, err := getRaw(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		if hasNonzeroSample(string(metrics), `apex_invariant_violations_total{kind="segment"}`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("violation counter never went nonzero; /metrics scrub families:\n%s", grepLines(string(metrics), "apex_scrub"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(logs(), `"integrity violation"`) {
+		return fmt.Errorf("no structured incident line in server logs:\n%s", logs())
+	}
+	fmt.Println("scrubsmoke: violation detected and incident logged")
+
+	// Quarantine + CSV-fallback rebuild: the corrupt file is aside and the
+	// segment at the canonical path passes a full checksum verification.
+	if _, err := os.Stat(segPath + ".quarantined"); err != nil {
+		return fmt.Errorf("corrupt segment not quarantined: %v", err)
+	}
+	if _, err := colstore.Verify(segPath); err != nil {
+		return fmt.Errorf("rebuilt segment fails verification: %v", err)
+	}
+	fmt.Println("scrubsmoke: corrupt segment quarantined, rebuilt from CSV, verifies clean")
+
+	// Readiness returns to ok once a clean cycle lands; service never
+	// stopped in between.
+	if err := awaitReadyz(base, "ok", 10*time.Second); err != nil {
+		return fmt.Errorf("post-heal readiness: %w", err)
+	}
+	if _, err := post(base+"/v1/sessions/"+id+"/query", map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("query after heal: %w", err)
+	}
+	hz, err := get(base + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	if hz["status"] != "ok" {
+		return fmt.Errorf("healthz after heal: %v", hz)
+	}
+	fmt.Println("scrubsmoke: readiness recovered, queries served throughout")
+
+	return stopServer(srv)
+}
+
+// awaitReadyz polls /v1/readyz until it answers 200 with the wanted
+// status, dumping the last degraded report on timeout.
+func awaitReadyz(base, want string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	var last []byte
+	for {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err != nil {
+			return err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		last = data
+		var body map[string]any
+		if json.Unmarshal(data, &body) == nil &&
+			resp.StatusCode == http.StatusOK && body["status"] == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("readyz never reached %q; last report: %s", want, last)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// findFile walks root for the first file with the given base name.
+func findFile(root, name string) (string, error) {
+	var found string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && d.Name() == name {
+			found = path
+			return fs.SkipAll
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if found == "" {
+		return "", fmt.Errorf("no %s under %s", name, root)
+	}
+	return found, nil
+}
+
+// grepLines returns the lines of s containing substr (for error context).
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// hasNonzeroSample reports whether the exposition payload has a sample
+// line for the exact series prefix with a value other than 0.
+func hasNonzeroSample(metrics, series string) bool {
+	for _, line := range strings.Split(metrics, "\n") {
+		if !strings.HasPrefix(line, series) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[1] != "0" {
+			return true
+		}
+	}
+	return false
+}
+
+// stopServer SIGTERMs the server and waits for a clean exit.
+func stopServer(cmd *exec.Cmd) error {
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("SIGTERM exit: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server did not exit within 10s of SIGTERM")
+	}
+	return nil
+}
+
+// startServerCapture starts the server, waits for /healthz, and returns a
+// snapshot function over its combined log output (also teed to stdout).
+func startServerCapture(bin, addr string, extra ...string) (*exec.Cmd, func() string, error) {
+	args := append([]string{"-listen", addr}, extra...)
+	cmd := exec.Command(bin, args...)
+	logs := &lockedBuffer{}
+	tee := io.MultiWriter(os.Stdout, logs)
+	cmd.Stdout = tee
+	cmd.Stderr = tee
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	base := "http://" + addr
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, logs.String, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	return nil, nil, fmt.Errorf("server at %s never became healthy", addr)
+}
+
+// lockedBuffer is a mutex-guarded byte buffer (the server writes logs
+// from its own process pipe goroutine while the smoke reads snapshots).
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// freeAddr reserves an ephemeral port and releases it for the server.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func post(url string, body map[string]any, wantStatus int) (map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != wantStatus {
+		return nil, fmt.Errorf("POST %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("POST %s: %w", url, err)
+	}
+	return out, nil
+}
+
+func get(url string) (map[string]any, error) {
+	data, err := getRaw(url)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return out, nil
+}
+
+func getRaw(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: HTTP %d: %s", url, resp.StatusCode, data)
+	}
+	return data, nil
+}
