@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -45,8 +46,15 @@ type colBuilder struct {
 	dict  []string
 	index map[string]int32
 
-	// Continuous state: the missing bitmap words.
-	missing []uint64
+	// Continuous state: the missing bitmap words, plus the running
+	// frame-of-reference eligibility stats over the non-missing values
+	// (decided cheaply during Append so Finish can pack the spill in one
+	// streaming pass without a pre-scan).
+	missing     []uint64
+	forEligible bool
+	forCount    int
+	forMin      float64
+	forMax      float64
 }
 
 // NewBuilder opens a builder that will write the segment at path. The
@@ -65,7 +73,7 @@ func NewBuilder(path string, schema *dataset.Schema) (*Builder, error) {
 			b.Abort()
 			return nil, fmt.Errorf("%w: %v", ErrIO, err)
 		}
-		cb := &colBuilder{kind: a.Kind, f: f, w: bufio.NewWriterSize(f, 1<<16)}
+		cb := &colBuilder{kind: a.Kind, f: f, w: bufio.NewWriterSize(f, 1<<16), forEligible: true}
 		if a.Kind == dataset.Categorical {
 			cb.index = make(map[string]int32, len(a.Values))
 			for _, v := range a.Values {
@@ -124,6 +132,19 @@ func (b *Builder) Append(row dataset.Tuple) error {
 		val, missing := 0.0, true
 		if n, ok := v.AsNum(); ok {
 			val, missing = n, false
+			if c.forEligible {
+				if !dataset.FoREligibleValue(n) {
+					c.forEligible = false
+				} else {
+					if c.forCount == 0 || n < c.forMin {
+						c.forMin = n
+					}
+					if c.forCount == 0 || n > c.forMax {
+						c.forMax = n
+					}
+					c.forCount++
+				}
+			}
 		} else if !v.IsNull() {
 			b.misfits = append(b.misfits, dataset.MisfitCell{Row: b.rows, Pos: pos, Value: v})
 		}
@@ -186,7 +207,7 @@ func (b *Builder) Finish() (*BuildResult, error) {
 		return nil, b.fail(err)
 	}
 	sw := newSegWriter(out)
-	res, err := writeSegment(sw, b.schema, b.rows, func(pos int) (columnSource, error) {
+	res, err := writeSegment(sw, currentVersion, b.schema, b.rows, func(pos int) (columnSource, error) {
 		c := b.cols[pos]
 		f, err := os.Open(filepath.Join(b.spill, fmt.Sprintf("col%d", pos)))
 		if err != nil {
@@ -197,6 +218,11 @@ func (b *Builder) Finish() (*BuildResult, error) {
 			src.dict = c.dict
 		} else {
 			src.missing = c.missing
+			if c.forEligible {
+				if w, ok := dataset.FoRWidth(c.forMin, c.forMax); ok {
+					src.forOK, src.forMin, src.forWidth = true, c.forMin, w
+				}
+			}
 		}
 		return src, nil
 	}, b.misfits)
@@ -257,19 +283,30 @@ func BuildCSV(path string, schema *dataset.Schema, r io.Reader) (*BuildResult, e
 // WriteTable serializes an existing in-memory table to a segment at path
 // (one sequential write straight from the table's column slices; no
 // spills). Used to serialize programmatically built tables and to rebuild
-// a quarantined segment from a recovered CSV parse.
+// a quarantined segment from a recovered CSV parse — which is also how a
+// v1 segment upgrades to v2 in place through the recovery path.
 func WriteTable(path string, t *dataset.Table) (*BuildResult, error) {
+	return WriteTableVersion(path, t, currentVersion)
+}
+
+// WriteTableVersion is WriteTable at an explicit format version; version
+// 1 writes the legacy full-width layout (for upgrade tests and tooling
+// that must fabricate old segments).
+func WriteTableVersion(path string, t *dataset.Table, ver int) (*BuildResult, error) {
+	if ver != version1 && ver != version2 {
+		return nil, fmt.Errorf("colstore: unsupported segment version %d", ver)
+	}
 	out, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrIO, err)
 	}
 	sw := newSegWriter(out)
-	res, err := writeSegment(sw, t.Schema(), t.Size(), func(pos int) (columnSource, error) {
+	res, err := writeSegment(sw, ver, t.Schema(), t.Size(), func(pos int) (columnSource, error) {
 		cd := t.ColumnData(pos)
 		if cd.Kind == dataset.Categorical {
-			return columnSource{kind: cd.Kind, codes: cd.Codes, dict: cd.Dict}, nil
+			return columnSource{kind: cd.Kind, codes: cd.Codes, packedCodes: cd.PackedCodes, dict: cd.Dict}, nil
 		}
-		return columnSource{kind: cd.Kind, vals: cd.Vals, missing: cd.MissingWords}, nil
+		return columnSource{kind: cd.Kind, vals: cd.Vals, packedVals: cd.PackedVals, missing: cd.MissingWords}, nil
 	}, t.MisfitCells())
 	if err != nil {
 		out.Close()
@@ -288,22 +325,37 @@ func WriteTable(path string, t *dataset.Table) (*BuildResult, error) {
 	return res, nil
 }
 
-// columnSource feeds writeSegment one column's payload, either as an
-// in-memory slice (WriteTable) or a spill-file stream (Builder).
+// columnSource feeds writeSegment one column's payload: an in-memory
+// slice (WriteTable over a heap table), an already-packed vector
+// (WriteTable over a v2 mmap table), or a spill-file stream of raw LE
+// values (Builder), with the builder's frame-of-reference stats riding
+// along so the streaming pass knows the encoding up front.
 type columnSource struct {
 	kind dataset.AttrKind
 
-	codes  []int32   // categorical, in-memory
-	vals   []float64 // continuous, in-memory
-	stream *os.File  // alternative: raw LE bytes for codes/vals
+	codes       []int32             // categorical, in-memory
+	packedCodes *dataset.PackedInts // categorical, already bitpacked
+	vals        []float64           // continuous, in-memory
+	packedVals  *dataset.PackedFloats
+	stream      *os.File // alternative: raw LE bytes for codes/vals
 
 	dict    []string
 	missing []uint64
+
+	// Stream-side frame-of-reference decision (continuous only): set
+	// when every spilled value was FoR-eligible and the span fits.
+	forOK    bool
+	forMin   float64
+	forWidth int
 }
 
 // writeSegment lays the file out: header placeholder, page-aligned column
-// regions, misfit blob, directory, then the real header.
-func writeSegment(sw *segWriter, schema *dataset.Schema, rows int, source func(pos int) (columnSource, error), misfits []dataset.MisfitCell) (*BuildResult, error) {
+// regions, misfit blob, directory, then the real header. ver selects the
+// column encodings: version 1 writes full-width codes/values everywhere;
+// version 2 bitpacks categorical codes and frame-of-reference packs
+// eligible continuous columns (the rest stay raw, marked in the
+// directory).
+func writeSegment(sw *segWriter, ver int, schema *dataset.Schema, rows int, source func(pos int) (columnSource, error), misfits []dataset.MisfitCell) (*BuildResult, error) {
 	if err := sw.writeRaw(make([]byte, headerSize)); err != nil {
 		return nil, err
 	}
@@ -327,10 +379,28 @@ func writeSegment(sw *segWriter, schema *dataset.Schema, rows int, source func(p
 		}
 		if src.kind == dataset.Categorical {
 			var r region
-			if src.stream != nil {
+			switch {
+			case ver >= version2:
+				dc.Enc = encBitpack
+				switch {
+				case src.packedCodes != nil: // already packed (v2 table rewrite)
+					dc.Width = src.packedCodes.Width
+					r, err = sw.writeUint64s(src.packedCodes.Words)
+				case src.stream != nil:
+					dc.Width = dataset.PackedCodeWidth(len(src.dict))
+					r, err = sw.packCodesStream(src.stream, rows, dc.Width)
+					src.stream.Close()
+				default:
+					p := dataset.PackCodes(src.codes, len(src.dict))
+					dc.Width = p.Width
+					r, err = sw.writeUint64s(p.Words)
+				}
+			case src.packedCodes != nil: // legacy v1 write from a packed table
+				r, err = sw.writeInt32s(src.packedCodes.UnpackCodes())
+			case src.stream != nil:
 				r, err = sw.copyStream(src.stream, int64(rows)*4)
 				src.stream.Close()
-			} else {
+			default:
 				r, err = sw.writeInt32s(src.codes)
 			}
 			if err != nil {
@@ -347,11 +417,38 @@ func writeSegment(sw *segWriter, schema *dataset.Schema, rows int, source func(p
 			dc.Dict = &dictR
 			dataBytes += int64(r.Len) + int64(dictR.Len)
 		} else {
+			words := src.missing
+			if want := (rows + 63) >> 6; len(words) != want {
+				// A zero-row or short bitmap from the builder; normalize.
+				norm := make([]uint64, want)
+				copy(norm, words)
+				words = norm
+			}
 			var r region
-			if src.stream != nil {
+			switch {
+			case ver >= version2 && src.packedVals != nil:
+				min := src.packedVals.Min
+				dc.Enc, dc.Width, dc.Min = encFoR, src.packedVals.Ints.Width, &min
+				r, err = sw.writeUint64s(src.packedVals.Ints.Words)
+			case ver >= version2 && src.stream != nil && src.forOK:
+				min := src.forMin
+				dc.Enc, dc.Width, dc.Min = encFoR, src.forWidth, &min
+				r, err = sw.packValsStream(src.stream, rows, src.forWidth, src.forMin, words)
+				src.stream.Close()
+			case ver >= version2 && src.stream == nil:
+				if p, ok := dataset.PackVals(src.vals, words); ok {
+					min := p.Min
+					dc.Enc, dc.Width, dc.Min = encFoR, p.Ints.Width, &min
+					r, err = sw.writeUint64s(p.Ints.Words)
+				} else {
+					r, err = sw.writeFloat64s(src.vals)
+				}
+			case src.packedVals != nil: // legacy v1 write from a packed table
+				r, err = sw.writeFloat64s(src.packedVals.UnpackVals(words))
+			case src.stream != nil:
 				r, err = sw.copyStream(src.stream, int64(rows)*8)
 				src.stream.Close()
-			} else {
+			default:
 				r, err = sw.writeFloat64s(src.vals)
 			}
 			if err != nil {
@@ -360,13 +457,6 @@ func writeSegment(sw *segWriter, schema *dataset.Schema, rows int, source func(p
 			dc.Vals = &r
 			if err := sw.padTo(8); err != nil {
 				return nil, err
-			}
-			words := src.missing
-			if want := (rows + 63) >> 6; len(words) != want {
-				// A zero-row or short bitmap from the builder; normalize.
-				norm := make([]uint64, want)
-				copy(norm, words)
-				words = norm
 			}
 			missR, err := sw.writeUint64s(words)
 			if err != nil {
@@ -410,6 +500,7 @@ func writeSegment(sw *segWriter, schema *dataset.Schema, rows int, source func(p
 	}
 
 	h := header{
+		version:  uint32(ver),
 		rows:     uint64(rows),
 		cols:     uint32(schema.Arity()),
 		dirOff:   dirOff,
@@ -482,6 +573,114 @@ func (sw *segWriter) copyStream(f *os.File, wantLen int64) (region, error) {
 	r.Len = uint64(n)
 	r.CRC = crc.Sum32()
 	return r, nil
+}
+
+// regionPacker accumulates fixed-width lanes into no-straddle words and
+// streams them out as one checksummed region through a bounded buffer —
+// the write-side twin of dataset.PackedInts, shaped for the builder's
+// spill-to-segment pass so packing never materializes a column.
+type regionPacker struct {
+	sw    *segWriter
+	width uint
+	lpw   int
+	cur   uint64
+	lane  int
+	buf   []byte
+	crc   hash.Hash32
+	r     region
+}
+
+func (sw *segWriter) newRegionPacker(width int) *regionPacker {
+	return &regionPacker{
+		sw: sw, width: uint(width), lpw: 64 / width,
+		buf: make([]byte, 0, 1<<20), crc: crc32.New(castagnoli),
+		r: region{Off: sw.off},
+	}
+}
+
+func (rp *regionPacker) add(lane uint64) error {
+	rp.cur |= lane << (uint(rp.lane) * rp.width)
+	rp.lane++
+	if rp.lane == rp.lpw {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], rp.cur)
+		rp.buf = append(rp.buf, b[:]...)
+		rp.cur, rp.lane = 0, 0
+		if len(rp.buf) >= 1<<20 {
+			return rp.flushBuf()
+		}
+	}
+	return nil
+}
+
+func (rp *regionPacker) flushBuf() error {
+	if len(rp.buf) == 0 {
+		return nil
+	}
+	rp.crc.Write(rp.buf)
+	err := rp.sw.writeRaw(rp.buf)
+	rp.r.Len += uint64(len(rp.buf))
+	rp.buf = rp.buf[:0]
+	return err
+}
+
+func (rp *regionPacker) finish() (region, error) {
+	if rp.lane > 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], rp.cur)
+		rp.buf = append(rp.buf, b[:]...)
+	}
+	if err := rp.flushBuf(); err != nil {
+		return rp.r, err
+	}
+	rp.r.CRC = rp.crc.Sum32()
+	return rp.r, nil
+}
+
+// packCodesStream bitpacks a categorical spill (raw LE int32 codes) into
+// a segment region at the given lane width.
+func (sw *segWriter) packCodesStream(f *os.File, rows, width int) (region, error) {
+	rp := sw.newRegionPacker(width)
+	br := bufio.NewReaderSize(f, 1<<20)
+	var raw [4]byte
+	for i := 0; i < rows; i++ {
+		if _, err := io.ReadFull(br, raw[:]); err != nil {
+			return rp.r, fmt.Errorf("codes spill: %w", err)
+		}
+		code := int32(binary.LittleEndian.Uint32(raw[:]))
+		if err := rp.add(uint64(int64(code) + dataset.PackedCodeBias)); err != nil {
+			return rp.r, err
+		}
+	}
+	if _, err := br.Read(raw[:1]); err != io.EOF {
+		return rp.r, fmt.Errorf("codes spill holds more than %d rows", rows)
+	}
+	return rp.finish()
+}
+
+// packValsStream frame-of-reference packs a continuous spill (raw LE
+// float64s); rows whose missing bit is set pack as lane 0.
+func (sw *segWriter) packValsStream(f *os.File, rows, width int, min float64, missing []uint64) (region, error) {
+	rp := sw.newRegionPacker(width)
+	br := bufio.NewReaderSize(f, 1<<20)
+	var raw [8]byte
+	for i := 0; i < rows; i++ {
+		if _, err := io.ReadFull(br, raw[:]); err != nil {
+			return rp.r, fmt.Errorf("values spill: %w", err)
+		}
+		lane := uint64(0)
+		if missing[i>>6]&(1<<(uint(i)&63)) == 0 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+			lane = uint64(v - min)
+		}
+		if err := rp.add(lane); err != nil {
+			return rp.r, err
+		}
+	}
+	if _, err := br.Read(raw[:1]); err != io.EOF {
+		return rp.r, fmt.Errorf("values spill holds more than %d rows", rows)
+	}
+	return rp.finish()
 }
 
 func (sw *segWriter) writeInt32s(v []int32) (region, error) {

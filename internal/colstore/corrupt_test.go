@@ -160,7 +160,7 @@ func TestRegionLengthOverflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	h2 := header{
-		rows: h.rows, cols: h.cols,
+		version: h.version, rows: h.rows, cols: h.cols,
 		dirOff: h.fileSize, dirLen: uint64(len(newDir)),
 		dirCRC:   crc32.Checksum(newDir, castagnoli),
 		fileSize: h.fileSize + uint64(len(newDir)),
@@ -186,14 +186,14 @@ func TestHeaderLiesAboutRows(t *testing.T) {
 	}
 	binary.LittleEndian.PutUint64(hb[16:24], h.rows+1)
 	h2, err := decodeHeader((&header{
-		rows: h.rows + 1, cols: h.cols, dirOff: h.dirOff, dirLen: h.dirLen,
+		version: h.version, rows: h.rows + 1, cols: h.cols, dirOff: h.dirOff, dirLen: h.dirLen,
 		dirCRC: h.dirCRC, fileSize: h.fileSize,
 	}).encode())
 	if err != nil || h2.rows != h.rows+1 {
 		t.Fatalf("re-encoded header invalid: %v", err)
 	}
 	if _, err := f.WriteAt((&header{
-		rows: h.rows + 1, cols: h.cols, dirOff: h.dirOff, dirLen: h.dirLen,
+		version: h.version, rows: h.rows + 1, cols: h.cols, dirOff: h.dirOff, dirLen: h.dirLen,
 		dirCRC: h.dirCRC, fileSize: h.fileSize,
 	}).encode(), 0); err != nil {
 		t.Fatal(err)

@@ -51,9 +51,15 @@ var ErrCorrupt = errors.New("colstore: segment corrupt")
 var ErrIO = errors.New("colstore: segment I/O failure")
 
 const (
-	magic      = "APXSEG1\n"
-	version    = 1
-	headerSize = 64
+	magic = "APXSEG1\n"
+	// version1 is the original full-width layout: int32 codes and float64
+	// values. version2 adds per-column lightweight encodings (bitpacked
+	// dictionary codes, frame-of-reference values); the reader accepts
+	// both, the writers emit currentVersion unless told otherwise.
+	version1       = 1
+	version2       = 2
+	currentVersion = version2
+	headerSize     = 64
 	// pageAlign aligns every column region to the usual OS page size, so
 	// madvise and mincore act on whole regions and no two columns share a
 	// fault page.
@@ -66,6 +72,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // header is the fixed 64-byte preamble.
 type header struct {
+	version  uint32
 	rows     uint64
 	cols     uint32
 	dirOff   uint64
@@ -77,7 +84,7 @@ type header struct {
 func (h *header) encode() []byte {
 	b := make([]byte, headerSize)
 	copy(b[0:8], magic)
-	binary.LittleEndian.PutUint32(b[8:12], version)
+	binary.LittleEndian.PutUint32(b[8:12], h.version)
 	binary.LittleEndian.PutUint32(b[12:16], headerSize)
 	binary.LittleEndian.PutUint64(b[16:24], h.rows)
 	binary.LittleEndian.PutUint32(b[24:28], h.cols)
@@ -99,13 +106,15 @@ func decodeHeader(b []byte) (*header, error) {
 	if got, want := crc32.Checksum(b[:60], castagnoli), binary.LittleEndian.Uint32(b[60:64]); got != want {
 		return nil, fmt.Errorf("%w: header checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, want)
 	}
-	if v := binary.LittleEndian.Uint32(b[8:12]); v != version {
-		return nil, fmt.Errorf("colstore: unsupported segment version %d (want %d)", v, version)
+	v := binary.LittleEndian.Uint32(b[8:12])
+	if v != version1 && v != version2 {
+		return nil, fmt.Errorf("colstore: unsupported segment version %d (want %d or %d)", v, version1, version2)
 	}
 	if hl := binary.LittleEndian.Uint32(b[12:16]); hl != headerSize {
 		return nil, fmt.Errorf("%w: header length %d", ErrCorrupt, hl)
 	}
 	return &header{
+		version:  v,
 		rows:     binary.LittleEndian.Uint64(b[16:24]),
 		cols:     binary.LittleEndian.Uint32(b[24:28]),
 		dirOff:   binary.LittleEndian.Uint64(b[32:40]),
@@ -122,15 +131,30 @@ type region struct {
 	CRC uint32 `json:"crc"`
 }
 
+// Column encodings (dirColumn.Enc). Empty means the full-width v1
+// layout; v2 files may mix encodings per column (a continuous column
+// with fractional values stays raw, its neighbors pack).
+const (
+	encRaw     = ""        // int32 codes / float64 values
+	encBitpack = "bitpack" // categorical: biased codes at Width bits/row
+	encFoR     = "for"     // continuous: Min + lane, Width bits/row
+)
+
 // dirColumn is one column's entry in the directory.
 type dirColumn struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"` // "categorical" | "continuous"
 
-	Codes *region `json:"codes,omitempty"` // categorical: int32 per row
+	// Enc selects the region encoding; Width and Min parameterize the
+	// packed forms (Min only for enc "for"). Absent in v1 files.
+	Enc   string   `json:"enc,omitempty"`
+	Width int      `json:"width,omitempty"`
+	Min   *float64 `json:"min,omitempty"`
+
+	Codes *region `json:"codes,omitempty"` // categorical: codes (raw or bitpacked)
 	Dict  *region `json:"dict,omitempty"`  // categorical: string blob
 
-	Vals    *region `json:"vals,omitempty"`    // continuous: float64 per row
+	Vals    *region `json:"vals,omitempty"`    // continuous: values (raw or FoR)
 	Missing *region `json:"missing,omitempty"` // continuous: bitmap words
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/dataset"
@@ -29,9 +30,23 @@ type Segment struct {
 	mapped    bool
 	table     *dataset.Table
 	rows      int
+	version   int
 	dataBytes int64
+	v1Bytes   int64
 	advised   atomic.Bool
+
+	// colSpans[pos] is the page-aligned byte envelope of column pos's
+	// regions inside the mapping — the unit of column-granular madvise
+	// and per-column residency accounting. advMu guards colAdvised, the
+	// per-column WILLNEED dedup.
+	colSpans   []colSpan
+	advMu      sync.Mutex
+	colAdvised []bool
 }
+
+// colSpan is one column's byte range within the mapping; start is
+// page-aligned (columns begin on page boundaries by construction).
+type colSpan struct{ start, end uint64 }
 
 // Open verifies and maps the segment at path and rebuilds its table with
 // zero-copy column views. Every checksum (header, directory, each column
@@ -62,7 +77,12 @@ type segMeta struct {
 	rows      int
 	regions   []region
 	dataBytes int64
-	size      int64
+	// v1Bytes is what the same columns would occupy in the full-width v1
+	// layout (codes 4 B/row, values 8 B/row) — the denominator of the
+	// compression-ratio gauge.
+	v1Bytes  int64
+	colSpans []colSpan
+	size     int64
 }
 
 // validateFile runs the segment's full structural and checksum validation
@@ -138,27 +158,77 @@ func validateFile(f *os.File) (*segMeta, error) {
 		dataBytes += int64(r.Len)
 		return nil
 	}
+	var v1Bytes int64
+	colSpans := make([]colSpan, len(dir.Columns))
 	for pos, dc := range dir.Columns {
 		a := schema.Attr(pos)
 		if dc.Name != a.Name || dc.Kind != kindString(a.Kind) {
 			return nil, fmt.Errorf("%w: column %d is %s %q, schema wants %s %q",
 				ErrCorrupt, pos, dc.Kind, dc.Name, kindString(a.Kind), a.Name)
 		}
+		// Encoding entries are version-gated: a v1 file declaring a packed
+		// encoding (or a packed entry with a nonsense width/base) is as
+		// corrupt as a flipped page byte.
+		if h.version < version2 && (dc.Enc != encRaw || dc.Width != 0 || dc.Min != nil) {
+			return nil, fmt.Errorf("%w: column %d declares encoding %q in a v%d segment", ErrCorrupt, pos, dc.Enc, h.version)
+		}
+		packedLen := int64(0)
+		if dc.Enc != encRaw {
+			if dc.Width < 1 || dc.Width > 32 {
+				return nil, fmt.Errorf("%w: column %d %s width %d out of range [1,32]", ErrCorrupt, pos, dc.Enc, dc.Width)
+			}
+			packedLen = int64(dataset.PackedWordCount(rows, dc.Width)) * 8
+		}
+		spanFirst := len(regions)
 		if a.Kind == dataset.Categorical {
-			if err := checkRegion(dc.Codes, "codes", int64(rows)*4, 8); err != nil {
-				return nil, err
+			switch dc.Enc {
+			case encRaw:
+				if err := checkRegion(dc.Codes, "codes", int64(rows)*4, 8); err != nil {
+					return nil, err
+				}
+			case encBitpack:
+				if dc.Min != nil {
+					return nil, fmt.Errorf("%w: column %d bitpack entry carries a FoR base", ErrCorrupt, pos)
+				}
+				if err := checkRegion(dc.Codes, "packed codes", packedLen, 8); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("%w: column %d unknown encoding %q", ErrCorrupt, pos, dc.Enc)
 			}
 			if err := checkRegion(dc.Dict, "dictionary", -1, 8); err != nil {
 				return nil, err
 			}
+			v1Bytes += int64(rows)*4 + int64(dc.Dict.Len)
 		} else {
-			if err := checkRegion(dc.Vals, "values", int64(rows)*8, 8); err != nil {
-				return nil, err
+			switch dc.Enc {
+			case encRaw:
+				if err := checkRegion(dc.Vals, "values", int64(rows)*8, 8); err != nil {
+					return nil, err
+				}
+			case encFoR:
+				if dc.Min == nil || math.IsNaN(*dc.Min) || math.IsInf(*dc.Min, 0) {
+					return nil, fmt.Errorf("%w: column %d FoR entry lacks a finite base", ErrCorrupt, pos)
+				}
+				if err := checkRegion(dc.Vals, "packed values", packedLen, 8); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("%w: column %d unknown encoding %q", ErrCorrupt, pos, dc.Enc)
 			}
 			if err := checkRegion(dc.Missing, "missing bitmap", int64(words)*8, 8); err != nil {
 				return nil, err
 			}
+			v1Bytes += int64(rows)*8 + int64(words)*8
 		}
+		// The column's page-aligned envelope, for column-granular madvise.
+		span := colSpan{start: regions[spanFirst].Off &^ (pageAlign - 1)}
+		for _, r := range regions[spanFirst:] {
+			if end := r.Off + r.Len; end > span.end {
+				span.end = end
+			}
+		}
+		colSpans[pos] = span
 	}
 	if dir.Misfits != nil {
 		if err := checkRegion(dir.Misfits, "misfit table", -1, 8); err != nil {
@@ -171,7 +241,8 @@ func validateFile(f *os.File) (*segMeta, error) {
 			return nil, err
 		}
 	}
-	return &segMeta{h: h, dir: dir, schema: schema, rows: rows, regions: regions, dataBytes: dataBytes, size: size}, nil
+	return &segMeta{h: h, dir: dir, schema: schema, rows: rows, regions: regions,
+		dataBytes: dataBytes, v1Bytes: v1Bytes, colSpans: colSpans, size: size}, nil
 }
 
 func open(f *os.File, path string) (*Segment, error) {
@@ -183,13 +254,16 @@ func open(f *os.File, path string) (*Segment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("colstore: mmap: %w", err)
 	}
-	seg := &Segment{path: path, f: f, data: data, mapped: mapped, rows: m.rows, dataBytes: m.dataBytes}
+	seg := &Segment{path: path, f: f, data: data, mapped: mapped, rows: m.rows,
+		version: int(m.h.version), dataBytes: m.dataBytes, v1Bytes: m.v1Bytes,
+		colSpans: m.colSpans, colAdvised: make([]bool, len(m.colSpans))}
 	table, err := seg.buildTable(m.schema, m.rows, &m.dir)
 	if err != nil {
 		seg.unmap()
 		return nil, err
 	}
 	table.SetPrefetch(seg.Advise)
+	table.SetColumnHints(seg.AdviseColumns, seg.ReleaseColumns)
 	seg.table = table
 	return seg, nil
 }
@@ -223,17 +297,35 @@ func (s *Segment) buildTable(schema *dataset.Schema, rows int, dir *directory) (
 			if err != nil {
 				return nil, fmt.Errorf("column %d: %w", pos, err)
 			}
-			cols[pos] = dataset.ColumnData{
-				Kind:  dataset.Categorical,
-				Codes: viewInt32s(s.region(*dc.Codes)),
-				Dict:  dict,
+			cd := dataset.ColumnData{Kind: dataset.Categorical, Dict: dict}
+			if dc.Enc == encBitpack {
+				cd.PackedCodes = &dataset.PackedInts{
+					Width: dc.Width,
+					N:     rows,
+					Words: viewUint64s(s.region(*dc.Codes)),
+				}
+			} else {
+				cd.Codes = viewInt32s(s.region(*dc.Codes))
 			}
+			cols[pos] = cd
 		} else {
-			cols[pos] = dataset.ColumnData{
+			cd := dataset.ColumnData{
 				Kind:         dataset.Continuous,
-				Vals:         viewFloat64s(s.region(*dc.Vals)),
 				MissingWords: viewUint64s(s.region(*dc.Missing)),
 			}
+			if dc.Enc == encFoR {
+				cd.PackedVals = &dataset.PackedFloats{
+					Ints: dataset.PackedInts{
+						Width: dc.Width,
+						N:     rows,
+						Words: viewUint64s(s.region(*dc.Vals)),
+					},
+					Min: *dc.Min,
+				}
+			} else {
+				cd.Vals = viewFloat64s(s.region(*dc.Vals))
+			}
+			cols[pos] = cd
 		}
 	}
 	var misfits []dataset.MisfitCell
@@ -268,6 +360,15 @@ func (s *Segment) DataBytes() int64 { return s.dataBytes }
 // MappedBytes returns the size of the file mapping.
 func (s *Segment) MappedBytes() int64 { return int64(len(s.data)) }
 
+// Version reports the on-disk format version (1 or 2).
+func (s *Segment) Version() int { return s.version }
+
+// V1DataBytes reports what the same columns would occupy in the
+// full-width v1 layout (codes 4 B/row, values 8 B/row, plus
+// dictionaries and missing bitmaps) — the denominator of the
+// compression-ratio gauge.
+func (s *Segment) V1DataBytes() int64 { return s.v1Bytes }
+
 // ResidentBytes reports how much of the mapping currently sits in
 // physical memory (mincore; on platforms without it, the whole heap
 // fallback buffer counts as resident).
@@ -294,6 +395,66 @@ func (s *Segment) Advise() {
 func (s *Segment) Release() {
 	adviseDontNeed(s.data)
 	s.advised.Store(false)
+	s.advMu.Lock()
+	for i := range s.colAdvised {
+		s.colAdvised[i] = false
+	}
+	s.advMu.Unlock()
+}
+
+// AdviseColumns hints WILLNEED over only the named columns' page
+// envelopes — the scheduler's column-granular prefetch, installed as the
+// table's PrefetchColumns hook. A column already advised (and not since
+// released) is skipped; a whole-mapping Advise supersedes everything.
+func (s *Segment) AdviseColumns(cols []int) {
+	if s.advised.Load() {
+		return
+	}
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+	for _, pos := range cols {
+		if pos < 0 || pos >= len(s.colSpans) || s.colAdvised[pos] {
+			continue
+		}
+		if sp := s.colSpans[pos]; sp.end > sp.start && sp.end <= uint64(len(s.data)) {
+			adviseWillNeed(s.data[sp.start:sp.end])
+			s.colAdvised[pos] = true
+		}
+	}
+}
+
+// ReleaseColumns drops the named columns' resident pages (DONTNEED) —
+// the cold-column end of the scheduler's planner. Pages fault back in on
+// the next touch; a later AdviseColumns re-hints them.
+func (s *Segment) ReleaseColumns(cols []int) {
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+	for _, pos := range cols {
+		if pos < 0 || pos >= len(s.colSpans) {
+			continue
+		}
+		if sp := s.colSpans[pos]; sp.end > sp.start && sp.end <= uint64(len(s.data)) {
+			adviseDontNeed(s.data[sp.start:sp.end])
+			s.colAdvised[pos] = false
+		}
+	}
+}
+
+// ColumnResident reports how many bytes of the column's page envelope
+// currently sit in physical memory (mincore; on platforms without a real
+// mapping the whole envelope counts as resident).
+func (s *Segment) ColumnResident(pos int) (int64, error) {
+	if pos < 0 || pos >= len(s.colSpans) {
+		return 0, fmt.Errorf("colstore: column %d out of range", pos)
+	}
+	sp := s.colSpans[pos]
+	if sp.end <= sp.start || sp.end > uint64(len(s.data)) {
+		return 0, nil
+	}
+	if !s.mapped {
+		return int64(sp.end - sp.start), nil
+	}
+	return residentBytes(s.data[sp.start:sp.end])
 }
 
 // Close unmaps the file. The Table becomes invalid: any later column read
@@ -339,13 +500,33 @@ func HeapCopy(t *dataset.Table) (*dataset.Table, error) {
 	cols := make([]dataset.ColumnData, schema.Arity())
 	for pos := 0; pos < schema.Arity(); pos++ {
 		cd := t.ColumnData(pos)
-		cols[pos] = dataset.ColumnData{
+		hc := dataset.ColumnData{
 			Kind:         cd.Kind,
 			Codes:        append([]int32(nil), cd.Codes...),
 			Dict:         append([]string(nil), cd.Dict...),
 			Vals:         append([]float64(nil), cd.Vals...),
 			MissingWords: append([]uint64(nil), cd.MissingWords...),
 		}
+		// Packed columns stay packed on the heap — same kernels, ~4-8x
+		// less RAM than widening to the v1 layout.
+		if cd.PackedCodes != nil {
+			hc.PackedCodes = &dataset.PackedInts{
+				Width: cd.PackedCodes.Width,
+				N:     cd.PackedCodes.N,
+				Words: append([]uint64(nil), cd.PackedCodes.Words...),
+			}
+		}
+		if cd.PackedVals != nil {
+			hc.PackedVals = &dataset.PackedFloats{
+				Ints: dataset.PackedInts{
+					Width: cd.PackedVals.Ints.Width,
+					N:     cd.PackedVals.Ints.N,
+					Words: append([]uint64(nil), cd.PackedVals.Ints.Words...),
+				},
+				Min: cd.PackedVals.Min,
+			}
+		}
+		cols[pos] = hc
 	}
 	heap, err := dataset.TableFromColumns(schema, n, cols, t.MisfitCells())
 	if err != nil {

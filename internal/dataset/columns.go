@@ -1,6 +1,9 @@
 package dataset
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Bitmap is a fixed-length bitset over row indices — the selection vector
 // of the columnar evaluator. The zero value is an empty bitmap; Reset
@@ -137,13 +140,16 @@ const (
 )
 
 // catColumn is the dictionary-encoded storage of a categorical attribute:
-// one int32 code per row indexing dict. The dictionary is seeded with the
+// one int32 code per row indexing dict, or — for sealed tables built over
+// segment-format-v2 storage — the bitpacked form of the same codes
+// (exactly one of codes/packed is set). The dictionary is seeded with the
 // public domain (so domain values get stable codes) and grows with any
 // out-of-domain strings the data carries.
 type catColumn struct {
-	codes []int32
-	dict  []string
-	index map[string]int32
+	codes  []int32
+	packed *PackedInts // biased lanes: code + PackedCodeBias
+	dict   []string
+	index  map[string]int32
 }
 
 func newCatColumn(domain []string) *catColumn {
@@ -165,11 +171,24 @@ func (c *catColumn) code(v string) int32 {
 	return id
 }
 
+// codeAt returns the row-i dictionary code regardless of representation.
+func (c *catColumn) codeAt(i int) int32 {
+	if c.packed != nil {
+		return int32(c.packed.At(i)) - PackedCodeBias
+	}
+	return c.codes[i]
+}
+
 func (c *catColumn) clonePrefix(n int) *catColumn {
 	out := &catColumn{
-		codes: append([]int32(nil), c.codes[:n]...),
 		dict:  append([]string(nil), c.dict...),
 		index: make(map[string]int32, len(c.index)),
+	}
+	if c.packed != nil {
+		// Samples are small heap tables; decode rather than repack.
+		out.codes = c.packed.unpackCodes(n)
+	} else {
+		out.codes = append([]int32(nil), c.codes[:n]...)
 	}
 	for k, v := range c.index {
 		out.index[k] = v
@@ -177,17 +196,49 @@ func (c *catColumn) clonePrefix(n int) *catColumn {
 	return out
 }
 
-// numColumn is the packed storage of a continuous attribute: one float64
-// per row plus a missing bitmap (set where the cell holds no number —
-// NULL or a kind-mismatched value recorded in Table.misfits).
+// numColumn is the storage of a continuous attribute: one float64 per
+// row — or its frame-of-reference packed form for sealed v2 tables
+// (exactly one of vals/packed is set) — plus a missing bitmap (set where
+// the cell holds no number — NULL or a kind-mismatched value recorded in
+// Table.misfits).
 type numColumn struct {
 	vals    []float64
+	packed  *PackedFloats
 	missing Bitmap
+
+	// decodeOnce guards the lazy vals materialization a packed column
+	// performs the first time a consumer needs random float64 access
+	// (Table.Floats); the predicate kernels never trigger it.
+	decodeOnce sync.Once
+}
+
+// floatAt returns the row-i value regardless of representation; only
+// meaningful where the missing bit is clear.
+func (c *numColumn) floatAt(i int) float64 {
+	if c.packed != nil {
+		return c.packed.At(i)
+	}
+	return c.vals[i]
+}
+
+// floats returns the full float64 slice, decoding a packed column once
+// on demand (missing rows decode as 0, the unpacked convention).
+func (c *numColumn) floats() []float64 {
+	if c.packed == nil {
+		return c.vals
+	}
+	c.decodeOnce.Do(func() {
+		c.vals = c.packed.UnpackVals(c.missing.words)
+	})
+	return c.vals
 }
 
 func (c *numColumn) clonePrefix(n int) *numColumn {
-	return &numColumn{
-		vals:    append([]float64(nil), c.vals[:n]...),
-		missing: c.missing.clonePrefix(n),
+	out := &numColumn{missing: c.missing.clonePrefix(n)}
+	if c.packed != nil {
+		out.vals = c.packed.unpackVals(n, out.missing.words)
+	} else {
+		out.vals = append([]float64(nil), c.vals[:n]...)
 	}
+	return out
 }

@@ -1,0 +1,400 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Packed column storage: the in-memory (and mmap'd) form of segment
+// format v2's lightweight encodings. Categorical dictionary codes are
+// bitpacked to ⌈log2(dictSize+sentinels)⌉ bits per row; continuous
+// columns whose values are all small integers are frame-of-reference
+// packed (value = Min + lane). The compiled predicate kernels evaluate
+// equality/set/range predicates directly over the packed words — a
+// word-at-a-time unpack-compare into the selection Bitmap, never a
+// materialized int32/float64 decode — so a scan moves width/32 (or
+// width/64) of the bytes the unpacked layout would.
+//
+// Layout ("no-straddle", after SIMD-BP style packing): each uint64 word
+// holds ⌊64/Width⌋ lanes, lane j at bits [j·Width, (j+1)·Width). Lanes
+// never cross a word boundary, so kernels process whole words with no
+// carry-in state. The unused high bits of each word (when Width does not
+// divide 64) and the lanes past N in the final word are always zero —
+// the canonical form TableFromColumns validates.
+
+// PackedCodeBias is the offset that maps categorical dictionary codes —
+// including the negative sentinels — into the unsigned packed lane
+// domain: lane = code + PackedCodeBias, so misfitCode (−2) packs as 0,
+// nullCode (−1) as 1, and dictionary code k as k+2.
+const PackedCodeBias = 2
+
+// PackedInts is a fixed-width bitpacked vector of N unsigned lanes.
+type PackedInts struct {
+	Width int      // lane bit width, 1..32
+	N     int      // number of lanes
+	Words []uint64 // ⌊64/Width⌋ lanes per word, no-straddle, tail zero
+}
+
+// PackedFloats is a frame-of-reference packed continuous column: the
+// row-i value is Min + float64(lane i). Packing is only applied when
+// every non-missing value is a small integer (so the reconstruction is
+// exact); missing rows pack as lane 0 and are masked by the column's
+// missing bitmap exactly as in the unpacked layout.
+type PackedFloats struct {
+	Ints PackedInts
+	Min  float64
+}
+
+// PackedWordCount returns the number of uint64 words a no-straddle
+// packing of n lanes at the given width occupies.
+func PackedWordCount(n, width int) int {
+	lpw := 64 / width
+	return (n + lpw - 1) / lpw
+}
+
+// PackedCodeWidth returns the lane bit width for a categorical column
+// whose dictionary has dictSize entries: enough for dictSize+2 biased
+// codes, minimum 1.
+func PackedCodeWidth(dictSize int) int {
+	w := bits.Len(uint(dictSize + PackedCodeBias - 1))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PackCodes bitpacks a categorical column's dictionary codes (with the
+// sentinel bias) at the canonical width for the given dictionary size.
+func PackCodes(codes []int32, dictSize int) *PackedInts {
+	w := uint(PackedCodeWidth(dictSize))
+	p := &PackedInts{Width: int(w), N: len(codes), Words: make([]uint64, PackedWordCount(len(codes), int(w)))}
+	lpw := 64 / int(w)
+	for i, c := range codes {
+		p.Words[i/lpw] |= uint64(int64(c)+PackedCodeBias) << (uint(i%lpw) * w)
+	}
+	return p
+}
+
+// FoREligibleValue reports whether v can participate in frame-of-
+// reference packing: a finite integer small enough that value−base is
+// exact in float64.
+func FoREligibleValue(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Trunc(v) == v && math.Abs(v) <= 1<<52
+}
+
+// FoRWidth returns the lane width for a frame-of-reference column whose
+// non-missing values span [min, max], and whether that span fits the
+// 32-bit lane cap. Both bounds must already be FoREligibleValue.
+func FoRWidth(min, max float64) (int, bool) {
+	span := max - min
+	if span < 0 || span >= 1<<32 {
+		return 0, false
+	}
+	w := bits.Len64(uint64(span))
+	if w < 1 {
+		w = 1
+	}
+	return w, true
+}
+
+// PackVals frame-of-reference packs a continuous column when every
+// non-missing value is eligible and the span fits 32-bit lanes; ok is
+// false otherwise (the column stays unpacked full-width float64).
+// Missing rows pack as lane 0.
+func PackVals(vals []float64, missingWords []uint64) (*PackedFloats, bool) {
+	var min, max float64
+	count := 0
+	for i, v := range vals {
+		if missingWords[i>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		if !FoREligibleValue(v) {
+			return nil, false
+		}
+		if count == 0 || v < min {
+			min = v
+		}
+		if count == 0 || v > max {
+			max = v
+		}
+		count++
+	}
+	w, ok := FoRWidth(min, max)
+	if !ok {
+		return nil, false
+	}
+	p := &PackedFloats{
+		Min:  min,
+		Ints: PackedInts{Width: w, N: len(vals), Words: make([]uint64, PackedWordCount(len(vals), w))},
+	}
+	lpw := 64 / w
+	for i, v := range vals {
+		if missingWords[i>>6]&(1<<(uint(i)&63)) != 0 {
+			continue
+		}
+		p.Ints.Words[i/lpw] |= uint64(v-min) << (uint(i%lpw) * uint(w))
+	}
+	return p, true
+}
+
+// At returns lane i.
+func (p *PackedInts) At(i int) uint64 {
+	w := uint(p.Width)
+	lpw := 64 / int(w)
+	word := p.Words[i/lpw]
+	return (word >> (uint(i%lpw) * w)) & (1<<w - 1)
+}
+
+// At returns the row-i value.
+func (p *PackedFloats) At(i int) float64 { return p.Min + float64(p.Ints.At(i)) }
+
+// UnpackCodes materializes the biased lanes back into int32 dictionary
+// codes (lane − PackedCodeBias), e.g. for heap sampling or for writing a
+// legacy v1 segment from a packed table.
+func (p *PackedInts) UnpackCodes() []int32 { return p.unpackCodes(p.N) }
+
+func (p *PackedInts) unpackCodes(n int) []int32 {
+	out := make([]int32, n)
+	w := uint(p.Width)
+	lpw := 64 / int(w)
+	mask := uint64(1)<<w - 1
+	for i := 0; i < n; {
+		x := p.Words[i/lpw]
+		end := i + lpw
+		if end > n {
+			end = n
+		}
+		for ; i < end; i++ {
+			out[i] = int32(x&mask) - PackedCodeBias
+			x >>= w
+		}
+	}
+	return out
+}
+
+// UnpackVals materializes the frame-of-reference column back into one
+// float64 per row. Rows whose missing bit is set decode as 0, matching
+// the unpacked layout's convention.
+func (p *PackedFloats) UnpackVals(missing []uint64) []float64 { return p.unpackVals(p.Ints.N, missing) }
+
+func (p *PackedFloats) unpackVals(n int, missing []uint64) []float64 {
+	out := make([]float64, n)
+	w := uint(p.Ints.Width)
+	lpw := 64 / int(w)
+	mask := uint64(1)<<w - 1
+	for i := 0; i < n; {
+		x := p.Ints.Words[i/lpw]
+		end := i + lpw
+		if end > n {
+			end = n
+		}
+		for ; i < end; i++ {
+			out[i] = p.Min + float64(x&mask)
+			x >>= w
+		}
+	}
+	for wi, mw := range missing {
+		for mw != 0 {
+			i := wi<<6 + bits.TrailingZeros64(mw)
+			if i >= n {
+				break
+			}
+			out[i] = 0
+			mw &= mw - 1
+		}
+	}
+	return out
+}
+
+// validate checks the canonical no-straddle form: width in range, the
+// exact word count for n lanes, every lane below maxLane, and all slack
+// — the unused high bits of every word and the lanes past n — zero.
+// It is O(n), the packed counterpart of the unpacked code-bounds scan.
+func (p *PackedInts) validate(n int, maxLane uint64) error {
+	if p.Width < 1 || p.Width > 32 {
+		return errPackedf("lane width %d out of range [1,32]", p.Width)
+	}
+	if p.N != n {
+		return errPackedf("packed vector has %d lanes for %d rows", p.N, n)
+	}
+	if want := PackedWordCount(n, p.Width); len(p.Words) != want {
+		return errPackedf("packed vector has %d words, want %d", len(p.Words), want)
+	}
+	w := uint(p.Width)
+	lpw := 64 / int(w)
+	used := uint(lpw) * w
+	for wi, word := range p.Words {
+		if used < 64 && word>>used != 0 {
+			return errPackedf("word %d has nonzero slack bits", wi)
+		}
+		base := wi * lpw
+		end := lpw
+		if n-base < end {
+			end = n - base
+		}
+		x := word
+		for j := 0; j < end; j++ {
+			if x&(1<<w-1) >= maxLane {
+				return errPackedf("row %d lane %d out of range [0,%d)", base+j, x&(1<<w-1), maxLane)
+			}
+			x >>= w
+		}
+		// Lanes past n in the final word must be zero.
+		if end < lpw && x != 0 {
+			return errPackedf("word %d has nonzero lanes past row %d", wi, n)
+		}
+	}
+	return nil
+}
+
+// scanEqInto sets dst's bit for every row whose lane equals target. The
+// kernel is word-at-a-time SWAR: XOR against a broadcast target, then an
+// exact zero-lane test — with H the high-bit-per-lane mask and L the
+// remaining lane bits, ((x&L)+L)|x has a lane's high bit set iff the
+// lane is nonzero (the per-lane sum lowbits + 2^(w−1)−1 cannot carry
+// across lanes), so its complement under H marks the equal lanes.
+func (p *PackedInts) scanEqInto(target uint64, dst *Bitmap) {
+	w := uint(p.Width)
+	if target >= uint64(1)<<w {
+		return
+	}
+	lpw := 64 / int(w)
+	var pattern, hi uint64
+	for j := 0; j < lpw; j++ {
+		pattern |= target << (uint(j) * w)
+		hi |= 1 << (uint(j)*w + w - 1)
+	}
+	used := uint64(1)<<(uint(lpw)*w) - 1
+	if uint(lpw)*w == 64 {
+		used = ^uint64(0)
+	}
+	low := used &^ hi
+	n := p.N
+	for wi, word := range p.Words {
+		x := word ^ pattern
+		z := ^(((x & low) + low) | x) & hi
+		if z == 0 {
+			continue
+		}
+		base := wi * lpw
+		for z != 0 {
+			row := base + bits.TrailingZeros64(z)/int(w)
+			if row >= n {
+				break // zero lanes past N match a zero target; not rows
+			}
+			dst.Set(row)
+			z &= z - 1
+		}
+	}
+}
+
+// scanCmpInto sets dst's bit for every row whose reconstructed value
+// (Min + lane) satisfies "v op c". Missing rows are the caller's concern
+// (mask afterwards, as in the unpacked kernel). The comparison runs on
+// the exactly reconstructed float64, so NULL/NaN/fractional-constant
+// semantics match the unpacked kernel bit for bit.
+func (p *PackedFloats) scanCmpInto(op CmpOp, c float64, dst *Bitmap) {
+	w := uint(p.Ints.Width)
+	lpw := 64 / int(w)
+	mask := uint64(1)<<w - 1
+	min := p.Min
+	n := p.Ints.N
+	words := p.Ints.Words
+	switch op {
+	case Eq:
+		for wi, word := range words {
+			base, end, x := laneSpan(wi, lpw, n, word)
+			for j := 0; j < end; j++ {
+				if min+float64(x&mask) == c {
+					dst.Set(base + j)
+				}
+				x >>= w
+			}
+		}
+	case Ne:
+		for wi, word := range words {
+			base, end, x := laneSpan(wi, lpw, n, word)
+			for j := 0; j < end; j++ {
+				if min+float64(x&mask) != c {
+					dst.Set(base + j)
+				}
+				x >>= w
+			}
+		}
+	case Lt:
+		for wi, word := range words {
+			base, end, x := laneSpan(wi, lpw, n, word)
+			for j := 0; j < end; j++ {
+				if min+float64(x&mask) < c {
+					dst.Set(base + j)
+				}
+				x >>= w
+			}
+		}
+	case Le:
+		for wi, word := range words {
+			base, end, x := laneSpan(wi, lpw, n, word)
+			for j := 0; j < end; j++ {
+				if min+float64(x&mask) <= c {
+					dst.Set(base + j)
+				}
+				x >>= w
+			}
+		}
+	case Gt:
+		for wi, word := range words {
+			base, end, x := laneSpan(wi, lpw, n, word)
+			for j := 0; j < end; j++ {
+				if min+float64(x&mask) > c {
+					dst.Set(base + j)
+				}
+				x >>= w
+			}
+		}
+	case Ge:
+		for wi, word := range words {
+			base, end, x := laneSpan(wi, lpw, n, word)
+			for j := 0; j < end; j++ {
+				if min+float64(x&mask) >= c {
+					dst.Set(base + j)
+				}
+				x >>= w
+			}
+		}
+	}
+}
+
+// scanRangeInto sets dst's bit for every row whose reconstructed value
+// lies in [lo, hi).
+func (p *PackedFloats) scanRangeInto(lo, hi float64, dst *Bitmap) {
+	w := uint(p.Ints.Width)
+	lpw := 64 / int(w)
+	mask := uint64(1)<<w - 1
+	min := p.Min
+	n := p.Ints.N
+	for wi, word := range p.Ints.Words {
+		base, end, x := laneSpan(wi, lpw, n, word)
+		for j := 0; j < end; j++ {
+			if v := min + float64(x&mask); v >= lo && v < hi {
+				dst.Set(base + j)
+			}
+			x >>= w
+		}
+	}
+}
+
+// laneSpan returns the row base, the number of live lanes, and the word
+// for word index wi — the final word carries fewer than lpw rows.
+func laneSpan(wi, lpw, n int, word uint64) (base, end int, x uint64) {
+	base = wi * lpw
+	end = lpw
+	if n-base < end {
+		end = n - base
+	}
+	return base, end, word
+}
+
+func errPackedf(format string, args ...any) error {
+	return fmt.Errorf("dataset: packed column: "+format, args...)
+}

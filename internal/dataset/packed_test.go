@@ -1,0 +1,365 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPackedCodeWidth pins the width function at the bit-width
+// boundaries the biased sentinel domain creates.
+func TestPackedCodeWidth(t *testing.T) {
+	cases := []struct{ dict, want int }{
+		{0, 1}, {1, 2}, {2, 2}, {3, 3}, {6, 3}, {7, 4}, {14, 4},
+		{254, 8}, {255, 9}, {65534, 16}, {65535, 17},
+	}
+	for _, c := range cases {
+		if got := PackedCodeWidth(c.dict); got != c.want {
+			t.Errorf("PackedCodeWidth(%d) = %d, want %d", c.dict, got, c.want)
+		}
+	}
+}
+
+// TestPackedIntsRoundTrip packs random lanes at every width and checks
+// At, the canonical-form validator, and the no-straddle layout.
+func TestPackedIntsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for width := 1; width <= 32; width++ {
+		for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+			limit := uint64(1) << uint(width)
+			lanes := make([]uint64, n)
+			p := &PackedInts{Width: width, N: n, Words: make([]uint64, PackedWordCount(n, width))}
+			lpw := 64 / width
+			for i := range lanes {
+				lanes[i] = rng.Uint64() % limit
+				p.Words[i/lpw] |= lanes[i] << (uint(i%lpw) * uint(width))
+			}
+			for i, want := range lanes {
+				if got := p.At(i); got != want {
+					t.Fatalf("width %d n %d: At(%d) = %d, want %d", width, n, i, got, want)
+				}
+			}
+			if err := p.validate(n, limit); err != nil {
+				t.Fatalf("width %d n %d: validate: %v", width, n, err)
+			}
+			// Slack or tail corruption must be rejected.
+			if uint(lpw*width) < 64 && len(p.Words) > 0 {
+				p.Words[0] |= 1 << uint(lpw*width)
+				if err := p.validate(n, limit); err == nil {
+					t.Fatalf("width %d n %d: validate accepted nonzero slack", width, n)
+				}
+				p.Words[0] &^= 1 << uint(lpw*width)
+			}
+			if n > 0 && n%lpw != 0 {
+				p.Words[len(p.Words)-1] |= 1 << (uint(n%lpw) * uint(width))
+				if err := p.validate(n, limit); err == nil {
+					t.Fatalf("width %d n %d: validate accepted nonzero tail lane", width, n)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedScanEq compares the SWAR equality kernel against a naive
+// lane loop, including targets at 0 (the biased misfit sentinel, which
+// zero tail lanes must not leak), the lane maximum, and out of width.
+func TestPackedScanEq(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, width := range []int{1, 2, 3, 5, 7, 8, 9, 13, 16, 17, 21, 31, 32} {
+		for _, n := range []int{1, 64, 127, 1000} {
+			limit := uint64(1) << uint(width)
+			domain := limit
+			if domain > 8 {
+				domain = 8 // dense hits
+			}
+			lanes := make([]uint64, n)
+			p := &PackedInts{Width: width, N: n, Words: make([]uint64, PackedWordCount(n, width))}
+			lpw := 64 / width
+			for i := range lanes {
+				lanes[i] = rng.Uint64() % domain
+				if rng.Intn(10) == 0 {
+					lanes[i] = rng.Uint64() % limit
+				}
+				p.Words[i/lpw] |= lanes[i] << (uint(i%lpw) * uint(width))
+			}
+			targets := []uint64{0, 1, domain - 1, limit - 1, limit, limit + 3}
+			for _, target := range targets {
+				got := NewBitmap(n)
+				p.scanEqInto(target, got)
+				for i := 0; i < n; i++ {
+					want := target < limit && lanes[i] == target
+					if got.Get(i) != want {
+						t.Fatalf("width %d n %d target %d row %d: got %v want %v", width, n, target, i, got.Get(i), want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedFloatsScan compares the frame-of-reference compare/range
+// kernels against the unpacked loops for fractional, negative, NaN and
+// infinite constants.
+func TestPackedFloatsScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, span := range []uint64{0, 1, 100, 1 << 16, 1 << 31} {
+		n := 777
+		base := float64(-50)
+		vals := make([]float64, n)
+		missing := make([]uint64, (n+63)>>6)
+		for i := range vals {
+			if rng.Intn(17) == 0 {
+				missing[i>>6] |= 1 << (uint(i) & 63)
+				continue
+			}
+			vals[i] = base + float64(rng.Uint64()%(span+1))
+		}
+		p, ok := PackVals(vals, missing)
+		if !ok {
+			t.Fatalf("span %d: PackVals rejected eligible column", span)
+		}
+		if w := p.Ints.Width; w > 32 {
+			t.Fatalf("span %d: width %d", span, w)
+		}
+		consts := []float64{base, base + 1, base + 0.5, base + float64(span), -1e9, 1e9,
+			math.NaN(), math.Inf(1), math.Inf(-1), 0, 40.25}
+		ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+		for _, c := range consts {
+			for _, op := range ops {
+				got := NewBitmap(n)
+				p.scanCmpInto(op, c, got)
+				for i, v := range vals {
+					// The kernel sees lane 0 (= base) at missing rows; the
+					// caller masks those. Mirror that here.
+					if missing[i>>6]&(1<<(uint(i)&63)) != 0 {
+						v = p.Min
+					}
+					var want bool
+					switch op {
+					case Eq:
+						want = v == c
+					case Ne:
+						want = v != c
+					case Lt:
+						want = v < c
+					case Le:
+						want = v <= c
+					case Gt:
+						want = v > c
+					case Ge:
+						want = v >= c
+					}
+					if got.Get(i) != want {
+						t.Fatalf("span %d op %v c %v row %d (v=%v): got %v want %v", span, op, c, i, v, got.Get(i), want)
+					}
+				}
+			}
+			lo, hi := c, c+float64(span)/3+1
+			got := NewBitmap(n)
+			p.scanRangeInto(lo, hi, got)
+			for i, v := range vals {
+				if missing[i>>6]&(1<<(uint(i)&63)) != 0 {
+					v = p.Min
+				}
+				if want := v >= lo && v < hi; got.Get(i) != want {
+					t.Fatalf("span %d range [%v,%v) row %d: got %v want %v", span, lo, hi, i, got.Get(i), want)
+				}
+			}
+		}
+	}
+}
+
+// TestPackValsRejectsIneligible pins the fall-back-to-unpacked cases.
+func TestPackValsRejectsIneligible(t *testing.T) {
+	none := []uint64{0}
+	for _, vals := range [][]float64{
+		{1, 2.5, 3},                   // fractional
+		{0, math.NaN()},               // NaN
+		{0, math.Inf(1)},              // infinite
+		{0, 1 << 53},                  // too large for exact deltas
+		{-(1 << 31), 1 << 31}, // span over 32 bits
+		{0, 1 << 32},          // span exactly 2^32
+	} {
+		if p, ok := PackVals(vals, make([]uint64, 1)); ok {
+			t.Errorf("PackVals(%v) accepted, width %d", vals, p.Ints.Width)
+		}
+	}
+	// Boundary acceptance: span 2^32−1 is the widest packable column.
+	if _, ok := PackVals([]float64{0, float64(1<<32) - 1}, none); !ok {
+		t.Errorf("PackVals rejected span 2^32-1")
+	}
+	// All-missing columns pack trivially.
+	if p, ok := PackVals([]float64{0, 0}, []uint64{3}); !ok || p.Ints.Width != 1 {
+		t.Errorf("all-missing column: ok=%v", ok)
+	}
+}
+
+// buildMixedTable appends rows with NULLs, out-of-domain strings and
+// kind-mismatched misfit cells across dictionary sizes that straddle
+// packed bit-width boundaries.
+func buildMixedTable(t *testing.T, n int, seed int64) *Table {
+	t.Helper()
+	schema, err := NewSchema(
+		Attribute{Name: "flag", Kind: Categorical, Values: []string{"y"}},                        // width 2 after sentinels
+		Attribute{Name: "grade", Kind: Categorical, Values: []string{"a", "b", "c", "d", "e", "f"}}, // width 3
+		Attribute{Name: "code7", Kind: Categorical, Values: domainN(7)},                          // width 4 boundary
+		Attribute{Name: "code254", Kind: Categorical, Values: domainN(254)},                      // width 8 boundary
+		Attribute{Name: "age", Kind: Continuous},
+		Attribute{Name: "gain", Kind: Continuous},
+		Attribute{Name: "frac", Kind: Continuous}, // fractional: stays unpacked
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tab := NewTable(schema)
+	g254 := domainN(254)
+	for i := 0; i < n; i++ {
+		row := Tuple{
+			Str([]string{"y", "n?", "y", "y"}[rng.Intn(4)]), // n? is out of domain
+			Str(string(rune('a' + rng.Intn(8)))),            // g,h out of domain
+			Str(fmt.Sprintf("v%d", rng.Intn(9))),
+			Str(g254[rng.Intn(254)]),
+			Num(float64(17 + rng.Intn(74))),
+			Num(float64(rng.Intn(100000))),
+			Num(rng.Float64() * 100),
+		}
+		for pos := range row {
+			if rng.Intn(23) == 0 {
+				row[pos] = Null
+			}
+		}
+		if rng.Intn(41) == 0 { // kind-mismatched cells exercise the misfit patch path
+			row[rng.Intn(4)] = Num(float64(rng.Intn(5)))
+		}
+		if rng.Intn(41) == 0 {
+			row[4+rng.Intn(3)] = Str("oops")
+		}
+		tab.MustAppend(row)
+	}
+	return tab
+}
+
+func domainN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("v%d", i)
+	}
+	return out
+}
+
+// packTable rebuilds t with every eligible column packed, via the same
+// exported surface the column store uses.
+func packTable(t *testing.T, tab *Table) *Table {
+	t.Helper()
+	schema := tab.Schema()
+	cols := make([]ColumnData, schema.Arity())
+	for pos := 0; pos < schema.Arity(); pos++ {
+		cd := tab.ColumnData(pos)
+		if cd.Kind == Categorical {
+			cols[pos] = ColumnData{Kind: Categorical, Dict: cd.Dict, PackedCodes: PackCodes(cd.Codes, len(cd.Dict))}
+			continue
+		}
+		cols[pos] = cd
+		if p, ok := PackVals(cd.Vals, cd.MissingWords); ok {
+			cols[pos].Vals = nil
+			cols[pos].PackedVals = p
+		}
+	}
+	packed, err := TableFromColumns(schema, tab.Size(), cols, tab.MisfitCells())
+	if err != nil {
+		t.Fatalf("TableFromColumns(packed): %v", err)
+	}
+	return packed
+}
+
+// TestPackedTableDifferential evaluates a predicate battery over the
+// unpacked table and its packed twin and requires bit-identical
+// selection vectors, plus identical row reconstruction and Floats.
+func TestPackedTableDifferential(t *testing.T) {
+	tab := buildMixedTable(t, 4097, 7)
+	packed := packTable(t, tab)
+
+	if fp := packed.ColumnData(6); fp.PackedVals != nil {
+		t.Fatalf("fractional column unexpectedly packed")
+	}
+	if cp := packed.ColumnData(0); cp.PackedCodes == nil {
+		t.Fatalf("categorical column not packed")
+	}
+
+	preds := []Predicate{
+		StrEq{Attr: "flag", Val: "y"},
+		StrEq{Attr: "flag", Val: "n?"},      // out-of-domain value, interned at append time
+		StrEq{Attr: "grade", Val: "h"},      // out-of-domain
+		StrEq{Attr: "grade", Val: "zzz"},    // never interned
+		StrEq{Attr: "code254", Val: "v253"},
+		IsNull{Attr: "grade"},
+		IsNull{Attr: "age"},
+		NumCmp{Attr: "age", Op: Lt, C: 40},
+		NumCmp{Attr: "age", Op: Ge, C: 40.5},
+		NumCmp{Attr: "gain", Op: Eq, C: 0},
+		NumCmp{Attr: "gain", Op: Ne, C: math.NaN()},
+		NumCmp{Attr: "frac", Op: Le, C: 50},
+		Range{Attr: "age", Lo: 20, Hi: 65},
+		Range{Attr: "gain", Lo: 100, Hi: 10000},
+		And{StrEq{Attr: "flag", Val: "y"}, Range{Attr: "age", Lo: 30, Hi: 50}},
+		Or{IsNull{Attr: "gain"}, NumCmp{Attr: "gain", Op: Gt, C: 90000}},
+		Not{StrEq{Attr: "grade", Val: "a"}},
+	}
+	for _, p := range preds {
+		cu, err := Compile(tab.Schema(), p)
+		if err != nil {
+			t.Fatalf("compile %v: %v", p, err)
+		}
+		bu, bp := cu.Eval(tab), cu.Eval(packed)
+		for i := 0; i < tab.Size(); i++ {
+			if bu.Get(i) != bp.Get(i) {
+				t.Fatalf("predicate %v row %d: unpacked %v packed %v", p, i, bu.Get(i), bp.Get(i))
+			}
+		}
+	}
+
+	for _, i := range []int{0, 1, 63, 64, 4095, 4096} {
+		ru, rp := tab.Row(i), packed.Row(i)
+		for pos := range ru {
+			if ru[pos] != rp[pos] {
+				t.Fatalf("row %d pos %d: unpacked %v packed %v", i, pos, ru[pos], rp[pos])
+			}
+		}
+	}
+
+	for pos := 4; pos <= 6; pos++ {
+		vu, _, _ := tab.Floats(pos)
+		vp, _, _ := packed.Floats(pos)
+		for i := range vu {
+			if vu[i] != vp[i] {
+				t.Fatalf("Floats pos %d row %d: unpacked %v packed %v", pos, i, vu[i], vp[i])
+			}
+		}
+	}
+
+	du, _ := tab.DistinctValues("grade")
+	dp, _ := packed.DistinctValues("grade")
+	if fmt.Sprint(du) != fmt.Sprint(dp) {
+		t.Fatalf("DistinctValues: %v vs %v", du, dp)
+	}
+
+	// Packed categorical scans read ~width/32 of the unpacked bytes.
+	if up, pk := tab.ColumnScanBytes(3), packed.ColumnScanBytes(3); pk*3 > up {
+		t.Fatalf("code254 packed scan bytes %d not < 1/3 of unpacked %d", pk, up)
+	}
+}
+
+// TestCompiledColumns pins the planned-column derivation.
+func TestCompiledColumns(t *testing.T) {
+	tab := buildMixedTable(t, 8, 1)
+	p := And{StrEq{Attr: "grade", Val: "a"}, Range{Attr: "age", Lo: 0, Hi: 10}, StrEq{Attr: "grade", Val: "b"}}
+	cp, err := Compile(tab.Schema(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(cp.Columns()); got != "[1 4]" {
+		t.Fatalf("Columns() = %v, want [1 4]", got)
+	}
+}

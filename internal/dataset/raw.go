@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -22,13 +23,20 @@ type ColumnData struct {
 
 	// Categorical: one dictionary code per row. Codes >= 0 index Dict;
 	// the sentinels (NULL, misfit) match the table's internal encoding.
-	Codes []int32
-	Dict  []string
+	// PackedCodes is the segment-format-v2 alternative: the same codes
+	// bitpacked with PackedCodeBias. Exactly one of Codes/PackedCodes is
+	// set for a categorical column.
+	Codes       []int32
+	PackedCodes *PackedInts
+	Dict        []string
 
 	// Continuous: one float64 per row plus the missing bitmap (64 rows
 	// per word, row i at word i/64 bit i%64; tail bits zero). A set bit
 	// means the cell holds no number (NULL, or a misfit cell).
+	// PackedVals is the v2 frame-of-reference alternative to Vals;
+	// exactly one of the two is set for a continuous column.
 	Vals         []float64
+	PackedVals   *PackedFloats
 	MissingWords []uint64
 }
 
@@ -44,9 +52,14 @@ type MisfitCell struct {
 // pos. The returned slices are views into the table — read-only.
 func (t *Table) ColumnData(pos int) ColumnData {
 	if c := t.cats[pos]; c != nil {
-		return ColumnData{Kind: Categorical, Codes: c.codes, Dict: c.dict}
+		return ColumnData{Kind: Categorical, Codes: c.codes, PackedCodes: c.packed, Dict: c.dict}
 	}
 	c := t.nums[pos]
+	if c.packed != nil {
+		// c.vals may hold the lazy Floats decode; the packed words stay
+		// the canonical storage.
+		return ColumnData{Kind: Continuous, PackedVals: c.packed, MissingWords: c.missing.words}
+	}
 	return ColumnData{Kind: Continuous, Vals: c.vals, MissingWords: c.missing.words}
 }
 
@@ -97,33 +110,58 @@ func TableFromColumns(schema *Schema, n int, cols []ColumnData, misfits []Misfit
 			return nil, fmt.Errorf("dataset: column %d kind %v, schema wants %v", pos, col.Kind, a.Kind)
 		}
 		if a.Kind == Categorical {
-			if len(col.Codes) != n {
-				return nil, fmt.Errorf("dataset: column %d has %d codes for %d rows", pos, len(col.Codes), n)
-			}
-			c := &catColumn{codes: col.Codes, dict: col.Dict, index: make(map[string]int32, len(col.Dict))}
+			c := &catColumn{codes: col.Codes, packed: col.PackedCodes, dict: col.Dict, index: make(map[string]int32, len(col.Dict))}
 			for id, s := range col.Dict {
 				if _, dup := c.index[s]; dup {
 					return nil, fmt.Errorf("dataset: column %d dictionary has duplicate entry %q", pos, s)
 				}
 				c.index[s] = int32(id)
 			}
-			max := int32(len(col.Dict))
-			for i, code := range col.Codes {
-				if code >= max || code < misfitCode {
-					return nil, fmt.Errorf("dataset: column %d row %d code %d out of range [%d,%d)", pos, i, code, misfitCode, max)
+			switch {
+			case col.PackedCodes != nil:
+				if col.Codes != nil {
+					return nil, fmt.Errorf("dataset: column %d has both unpacked and packed codes", pos)
+				}
+				maxLane := uint64(len(col.Dict) + PackedCodeBias)
+				if err := col.PackedCodes.validate(n, maxLane); err != nil {
+					return nil, fmt.Errorf("column %d: %w", pos, err)
+				}
+			default:
+				if len(col.Codes) != n {
+					return nil, fmt.Errorf("dataset: column %d has %d codes for %d rows", pos, len(col.Codes), n)
+				}
+				max := int32(len(col.Dict))
+				for i, code := range col.Codes {
+					if code >= max || code < misfitCode {
+						return nil, fmt.Errorf("dataset: column %d row %d code %d out of range [%d,%d)", pos, i, code, misfitCode, max)
+					}
 				}
 			}
 			t.cats[pos] = c
 			continue
 		}
-		if len(col.Vals) != n {
-			return nil, fmt.Errorf("dataset: column %d has %d values for %d rows", pos, len(col.Vals), n)
-		}
 		if len(col.MissingWords) != words {
 			return nil, fmt.Errorf("dataset: column %d missing bitmap has %d words, want %d", pos, len(col.MissingWords), words)
 		}
+		switch {
+		case col.PackedVals != nil:
+			if col.Vals != nil {
+				return nil, fmt.Errorf("dataset: column %d has both unpacked and packed values", pos)
+			}
+			if m := col.PackedVals.Min; math.IsNaN(m) || math.IsInf(m, 0) {
+				return nil, fmt.Errorf("dataset: column %d frame-of-reference base %v is not finite", pos, m)
+			}
+			if err := col.PackedVals.Ints.validate(n, uint64(1)<<uint(col.PackedVals.Ints.Width)); err != nil {
+				return nil, fmt.Errorf("column %d: %w", pos, err)
+			}
+		default:
+			if len(col.Vals) != n {
+				return nil, fmt.Errorf("dataset: column %d has %d values for %d rows", pos, len(col.Vals), n)
+			}
+		}
 		t.nums[pos] = &numColumn{
 			vals:    col.Vals,
+			packed:  col.PackedVals,
 			missing: Bitmap{n: n, words: col.MissingWords},
 		}
 	}
@@ -132,8 +170,8 @@ func TableFromColumns(schema *Schema, n int, cols []ColumnData, misfits []Misfit
 		if m.Row < 0 || m.Row >= n || m.Pos < 0 || m.Pos >= schema.Arity() {
 			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) out of range", m.Row, m.Pos)
 		}
-		if c := t.cats[m.Pos]; c != nil && c.codes[m.Row] != misfitCode {
-			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) but code is %d", m.Row, m.Pos, c.codes[m.Row])
+		if c := t.cats[m.Pos]; c != nil && c.codeAt(m.Row) != misfitCode {
+			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) but code is %d", m.Row, m.Pos, c.codeAt(m.Row))
 		}
 		if c := t.nums[m.Pos]; c != nil && !c.missing.Get(m.Row) {
 			return nil, fmt.Errorf("dataset: misfit cell (%d,%d) but missing bit is clear", m.Row, m.Pos)
@@ -150,8 +188,8 @@ func TableFromColumns(schema *Schema, n int, cols []ColumnData, misfits []Misfit
 		if c == nil {
 			continue
 		}
-		for i, code := range c.codes {
-			if code == misfitCode {
+		for i := 0; i < n; i++ {
+			if c.codeAt(i) == misfitCode {
 				if t.misfits[pos] == nil || !rowSet[i] {
 					return nil, fmt.Errorf("dataset: column %d row %d marked misfit without a side-table entry", pos, i)
 				}
@@ -184,4 +222,56 @@ func (t *Table) Prefetch() {
 	if t.prefetch != nil {
 		t.prefetch()
 	}
+}
+
+// SetColumnHints installs the column-granular storage hints: advise is
+// called with the schema positions an imminent batched scan will read
+// (madvise(WILLNEED) over just those byte ranges), release with
+// positions that have gone cold (DONTNEED). Either may be nil; heap
+// tables leave both unset.
+func (t *Table) SetColumnHints(advise, release func(cols []int)) {
+	t.adviseCols = advise
+	t.releaseCols = release
+}
+
+// PrefetchColumns advises the storage layer that a scan over the given
+// schema positions is imminent. Falls back to the whole-table Prefetch
+// hook when the store registered no column-granular hint.
+func (t *Table) PrefetchColumns(cols []int) {
+	if t.adviseCols != nil {
+		t.adviseCols(cols)
+		return
+	}
+	t.Prefetch()
+}
+
+// ReleaseColumns tells the storage layer the given schema positions have
+// gone cold and their pages may be dropped. No-op for heap tables.
+func (t *Table) ReleaseColumns(cols []int) {
+	if t.releaseCols != nil {
+		t.releaseCols(cols)
+	}
+}
+
+// ColumnScanBytes returns the number of bytes one full predicate scan of
+// the attribute at schema position pos reads from the column storage —
+// the packed words for a v2 column, the full-width slices otherwise.
+// This is the per-column term of the scan-bandwidth accounting
+// (apex_scan_bytes_total, BenchmarkCompressedScan).
+func (t *Table) ColumnScanBytes(pos int) int64 {
+	if pos < 0 || pos >= t.schema.Arity() {
+		return 0
+	}
+	if c := t.cats[pos]; c != nil {
+		if c.packed != nil {
+			return int64(len(c.packed.Words)) * 8
+		}
+		return int64(len(c.codes)) * 4
+	}
+	c := t.nums[pos]
+	b := int64(len(c.missing.words)) * 8
+	if c.packed != nil {
+		return b + int64(len(c.packed.Ints.Words))*8
+	}
+	return b + int64(len(c.vals))*8
 }

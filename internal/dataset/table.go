@@ -33,8 +33,11 @@ type Table struct {
 	// read-only mmap'd) storage; Append must not grow or mutate them.
 	sealed bool
 	// prefetch, when set, is the storage-layer warmup hook (see
-	// SetPrefetch in raw.go).
-	prefetch func()
+	// SetPrefetch in raw.go); adviseCols/releaseCols are its
+	// column-granular refinement (SetColumnHints).
+	prefetch    func()
+	adviseCols  func(cols []int)
+	releaseCols func(cols []int)
 }
 
 // NewTable returns an empty table over the schema.
@@ -74,7 +77,7 @@ func (t *Table) Row(i int) Tuple {
 // value reconstructs one cell from columnar storage.
 func (t *Table) value(pos, i int) Value {
 	if c := t.cats[pos]; c != nil {
-		switch code := c.codes[i]; {
+		switch code := c.codeAt(i); {
 		case code >= 0:
 			return Str(c.dict[code])
 		case code == nullCode:
@@ -85,7 +88,7 @@ func (t *Table) value(pos, i int) Value {
 	}
 	c := t.nums[pos]
 	if !c.missing.Get(i) {
-		return Num(c.vals[i])
+		return Num(c.floatAt(i))
 	}
 	if m := t.misfits[pos]; m != nil {
 		if v, ok := m[i]; ok {
@@ -158,16 +161,20 @@ func (t *Table) addMisfit(pos int, v Value) {
 	}
 }
 
-// Floats exposes the packed column of a continuous attribute at schema
+// Floats exposes the float64 column of a continuous attribute at schema
 // position pos: vals[i] is the row-i value wherever missing bit i is
 // clear. ok is false for categorical attributes. The returned slices are
-// views into the table and must be treated as read-only.
+// views into the table and must be treated as read-only. For a
+// frame-of-reference packed column (v2 segments) the slice is a lazily
+// decoded copy, materialized once per column and cached — random-access
+// consumers like the exact-sum aggregates keep a real slice while the
+// predicate kernels stay on the packed words.
 func (t *Table) Floats(pos int) (vals []float64, missing *Bitmap, ok bool) {
 	if pos < 0 || pos >= len(t.nums) || t.nums[pos] == nil {
 		return nil, nil, false
 	}
 	c := t.nums[pos]
-	return c.vals, &c.missing, true
+	return c.floats(), &c.missing, true
 }
 
 // Count returns the number of rows satisfying p, via the columnar
@@ -233,8 +240,8 @@ func (t *Table) DistinctValues(attr string) ([]string, error) {
 	set := make(map[string]struct{})
 	if c := t.cats[idx]; c != nil {
 		seen := make([]bool, len(c.dict))
-		for _, code := range c.codes {
-			if code >= 0 {
+		for i := 0; i < t.n; i++ {
+			if code := c.codeAt(i); code >= 0 {
 				seen[code] = true
 			}
 		}

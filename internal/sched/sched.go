@@ -34,6 +34,7 @@ import (
 	"errors"
 	"io"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -259,6 +260,18 @@ type dsQueue struct {
 	waitTime  *metrics.Histogram          // idem
 	spend     *metrics.Histogram          // idem
 	outcomes  map[string]*metrics.Counter // idem; keyed by fixed outcome set
+	scanBytes *metrics.Counter            // idem; column bytes read by batched scans
+	scanRows  *metrics.Counter            // idem; rows scanned by batched scans
+
+	// Cold-column planner state: colLast[pos] is the batch sequence at
+	// which a batched scan last planned schema position pos. A column
+	// unplanned for coldAfterBatches consecutive batches gets a DONTNEED
+	// release (dataset.Table.ReleaseColumns) and drops from the map until
+	// a scan plans it again. colMu guards both (two workers can finish
+	// batches concurrently).
+	colMu    sync.Mutex
+	colLast  map[int]uint64
+	batchSeq uint64
 
 	// Adaptive controller state (adaptive.go); zero-valued when off.
 	lastWaitCount uint64
@@ -298,8 +311,47 @@ func (s *Scheduler) newQueue(name string) *dsQueue {
 				"Scheduled requests by outcome.",
 				metrics.L("dataset", name), metrics.L("outcome", o))
 		}
+		q.scanBytes = m.Counter("apex_scan_bytes_total",
+			"Column storage bytes read by batched noise-free scans (packed words for v2 columns).",
+			metrics.L("dataset", name))
+		q.scanRows = m.Counter("apex_scan_rows_total",
+			"Rows scanned by batched noise-free scans (unique predicates times table rows).",
+			metrics.L("dataset", name))
 	}
 	return q
+}
+
+// coldAfterBatches is how many consecutive batches a column may go
+// unplanned before the planner releases its pages. High enough that a
+// briefly idle attribute keeps its residency across a bursty workload,
+// low enough that a genuinely abandoned column stops competing with hot
+// ones for page cache.
+const coldAfterBatches = 64
+
+// noteColumns advances the cold-column planner by one batch: the given
+// planned columns become hot, and any tracked column that has gone
+// coldAfterBatches batches without being planned is released.
+func (d *dsQueue) noteColumns(t *dataset.Table, cols []int) {
+	d.colMu.Lock()
+	defer d.colMu.Unlock()
+	d.batchSeq++
+	if d.colLast == nil {
+		d.colLast = make(map[int]uint64)
+	}
+	for _, pos := range cols {
+		d.colLast[pos] = d.batchSeq
+	}
+	var cold []int
+	for pos, last := range d.colLast {
+		if d.batchSeq-last >= coldAfterBatches {
+			cold = append(cold, pos)
+			delete(d.colLast, pos)
+		}
+	}
+	if len(cold) > 0 {
+		sort.Ints(cold)
+		t.ReleaseColumns(cold)
+	}
 }
 
 // Ask runs one query through the dataset's scheduler and blocks until it
@@ -595,17 +647,29 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 	// Phase 2: one grouped, deduplicated columnar pass warms every
 	// plan's noise-free evaluations. All engines of a dataset share one
 	// transformation cache and one table; group defensively anyway so a
-	// mixed batch can never warm through the wrong cache. Prefetch first:
-	// an mmap-backed table tells the kernel to start faulting its column
-	// pages in before the scan reads them (a no-op for heap tables). The
-	// pass is shared, so its span lands on every flight's trace with the
-	// membership that explains the shared duration.
+	// mixed batch can never warm through the wrong cache. EvaluateBatch
+	// derives the batch's planned column set from its deduplicated
+	// predicates and prefetches only those byte ranges (column-granular
+	// madvise on an mmap-backed table, a no-op for heap tables); the
+	// returned stats feed the scan-bandwidth counters and the cold-column
+	// release planner. The pass is shared, so its span lands on every
+	// flight's trace with the membership that explains the shared
+	// duration.
 	scanStart := time.Now()
 	var warmed int
+	var scanBytes, scanRows int64
 	for c, g := range groups {
-		g.table.Prefetch()
-		c.EvaluateBatch(g.table, g.items)
+		st := c.EvaluateBatch(g.table, g.items)
 		warmed += len(g.items)
+		scanBytes += st.ScanBytes
+		scanRows += st.Rows
+		if st.UniquePredicates > 0 {
+			d.noteColumns(g.table, st.Columns)
+		}
+	}
+	if d.scanBytes != nil && scanBytes > 0 {
+		d.scanBytes.Add(float64(scanBytes))
+		d.scanRows.Add(float64(scanRows))
 	}
 	if warmed > 0 {
 		scanEnd := time.Now()
@@ -613,6 +677,7 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 			if sp := obs.RecordSpan(f.req.ctx, "scan", scanStart, scanEnd); sp != nil {
 				sp.Set("batch_size", len(flights))
 				sp.Set("warmed", warmed)
+				sp.Set("scan_bytes", int(scanBytes))
 			}
 		}
 	}

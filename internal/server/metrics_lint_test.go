@@ -148,6 +148,7 @@ func lintExposition(t *testing.T, r io.Reader) {
 		"apex_dataset_budget_remaining_epsilon",
 		"apex_dataset_budget_burn_epsilon_per_second",
 		"apex_dataset_budget_exhausted_seconds",
+		"apex_scan_bytes_total", "apex_scan_rows_total",
 	} {
 		if !helpSeen[want] {
 			t.Errorf("/metrics is missing the %q family", want)

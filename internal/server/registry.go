@@ -634,6 +634,14 @@ type StorageStat struct {
 	DataBytes     int64
 	MappedBytes   int64
 	ResidentBytes int64
+	// SegmentVersion is the on-disk format version (0 for heap datasets
+	// without a segment); FileBytes the segment file size on disk; and
+	// V1Bytes what the same columns would occupy in the full-width v1
+	// layout — FileBytes/V1Bytes is the compression ratio the v2
+	// encodings bought.
+	SegmentVersion int
+	FileBytes      int64
+	V1Bytes        int64
 }
 
 // StorageCounters are the registry's lifetime segment counters.
@@ -654,6 +662,9 @@ func (r *Registry) StorageStats() []StorageStat {
 		if ds.Segment != nil {
 			stat.DataBytes = ds.Segment.DataBytes()
 			stat.MappedBytes = ds.Segment.MappedBytes()
+			stat.SegmentVersion = ds.Segment.Version()
+			stat.FileBytes = ds.Segment.MappedBytes()
+			stat.V1Bytes = ds.Segment.V1DataBytes()
 			if res, err := ds.Segment.ResidentBytes(); err == nil {
 				stat.ResidentBytes = res
 			}
@@ -705,6 +716,12 @@ func heapColumnBytes(t *dataset.Table) int64 {
 	for pos := 0; pos < t.Schema().Arity(); pos++ {
 		cd := t.ColumnData(pos)
 		total += int64(len(cd.Codes))*4 + int64(len(cd.Vals))*8 + int64(len(cd.MissingWords))*8
+		if cd.PackedCodes != nil {
+			total += int64(len(cd.PackedCodes.Words)) * 8
+		}
+		if cd.PackedVals != nil {
+			total += int64(len(cd.PackedVals.Ints.Words)) * 8
+		}
 		for _, s := range cd.Dict {
 			total += int64(len(s)) + 1
 		}

@@ -22,6 +22,14 @@ func registerStorageMetrics(reg *Registry, m *metrics.Registry) {
 				"bytes of the dataset currently in physical memory (mincore for mmap, full payload for heap)", ds).Set(float64(st.ResidentBytes))
 			m.Gauge("apex_dataset_storage_mode",
 				"1 for the dataset's active storage mode", ds, metrics.L("mode", st.Mode.String())).Set(1)
+			if st.SegmentVersion > 0 {
+				m.Gauge("apex_dataset_segment_version",
+					"on-disk column-store format version of the dataset's segment", ds).Set(float64(st.SegmentVersion))
+				m.Gauge("apex_dataset_segment_file_bytes",
+					"on-disk size of the dataset's segment file", ds).Set(float64(st.FileBytes))
+				m.Gauge("apex_dataset_segment_v1_bytes",
+					"column payload the same dataset would occupy in the full-width v1 segment layout", ds).Set(float64(st.V1Bytes))
+			}
 		}
 		c := reg.Counters()
 		m.Gauge("apex_colstore_segment_opens",

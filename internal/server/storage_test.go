@@ -47,9 +47,10 @@ func durableRegistry(t *testing.T, dir string, policy server.StoragePolicy) *ser
 
 func TestStoragePolicyThreshold(t *testing.T) {
 	dir := t.TempDir()
-	// Threshold of 10 KiB: "small" (100 rows ≈ 1.3 KiB) stays heap,
-	// "large" (5000 rows ≈ 65 KiB) maps.
-	reg := durableRegistry(t, dir, server.StoragePolicy{MmapThreshold: 10 << 10})
+	// Threshold of 2 KiB against v2 compressed payloads: "small"
+	// (100 rows, a few hundred bytes packed) stays heap, "large"
+	// (5000 rows ≈ 7 KiB packed) maps.
+	reg := durableRegistry(t, dir, server.StoragePolicy{MmapThreshold: 2 << 10})
 	if _, err := reg.AddCSV("small", storageSchema(t), storageCSV(100, 1)); err != nil {
 		t.Fatal(err)
 	}

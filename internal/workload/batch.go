@@ -2,6 +2,7 @@ package workload
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -14,6 +15,29 @@ type BatchItem struct {
 	Tr        *Transformed
 	Histogram bool
 	Truth     bool
+}
+
+// BatchStats reports what one EvaluateBatch actually scanned — the
+// scheduler's feed for the scan-bandwidth counters
+// (apex_scan_bytes_total / apex_scan_rows_total) and its cold-column
+// release planner. Zero-valued when the batch had nothing to warm.
+type BatchStats struct {
+	// UniquePredicates is the deduplicated predicate count: the number of
+	// full-column scans the batch ran, regardless of how many workloads
+	// shared each one.
+	UniquePredicates int
+	// Rows is UniquePredicates × table rows — the numerator of the
+	// rows-per-byte bandwidth figure.
+	Rows int64
+	// ScanBytes is the column storage those scans read: packed words for
+	// v2 columns, full-width slices for v1/heap ones, summed per scan (a
+	// column referenced by three unique predicates counts three times,
+	// matching the traffic the kernels actually issue).
+	ScanBytes int64
+	// Columns is the deduplicated, sorted set of schema positions the
+	// batch planned — what was prefetched, and what the cold-column
+	// planner marks as recently hot.
+	Columns []int
 }
 
 // EvaluateBatch warms the noise-free evaluation memos of several
@@ -34,7 +58,14 @@ type BatchItem struct {
 // this cache, or whose results are already memoized are skipped — their
 // mechanisms evaluate through the ordinary path, so warming is never
 // required for correctness.
-func (c *TransformCache) EvaluateBatch(d *dataset.Table, items []BatchItem) {
+//
+// Before the scans run, the batch's planned column set — the union of
+// the deduplicated predicates' attributes — is handed to the table's
+// column-granular prefetch hook (dataset.Table.PrefetchColumns), so an
+// mmap-backed table advises WILLNEED over exactly the byte ranges this
+// batch will read and nothing else. The returned BatchStats describe the
+// scans that actually ran.
+func (c *TransformCache) EvaluateBatch(d *dataset.Table, items []BatchItem) BatchStats {
 	type shared struct {
 		cp *dataset.CompiledPredicate
 		bm *dataset.Bitmap
@@ -80,8 +111,26 @@ func (c *TransformCache) EvaluateBatch(d *dataset.Table, items []BatchItem) {
 		tasks = append(tasks, task{tr: tr, srcs: srcs, hist: hist, trut: trut})
 	}
 	if len(tasks) == 0 {
-		return
+		return BatchStats{}
 	}
+
+	// Plan pass: derive the batch's column set from the deduplicated
+	// predicates and prefetch only those byte ranges, before the first
+	// kernel faults a page. ScanBytes counts each unique predicate's
+	// column reads separately — that is the traffic the scans issue.
+	stats := BatchStats{UniquePredicates: len(order), Rows: int64(len(order)) * int64(d.Size())}
+	seen := make(map[int]bool)
+	for _, s := range order {
+		for _, pos := range s.cp.Columns() {
+			stats.ScanBytes += d.ColumnScanBytes(pos)
+			if !seen[pos] {
+				seen[pos] = true
+				stats.Columns = append(stats.Columns, pos)
+			}
+		}
+	}
+	sort.Ints(stats.Columns)
+	d.PrefetchColumns(stats.Columns)
 
 	// Evaluation pass: one columnar scan per unique predicate across the
 	// whole batch, spread over the CPUs.
@@ -118,4 +167,5 @@ func (c *TransformCache) EvaluateBatch(d *dataset.Table, items []BatchItem) {
 			t.tr.memo.warmTruth(t.tr, d, get)
 		}
 	}
+	return stats
 }

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/colstore"
 )
 
 const (
@@ -179,6 +181,88 @@ func run() error {
 		return fmt.Errorf("segment not rebuilt on disk: %w", err)
 	}
 
+	// (a2) Version gate + in-place upgrade: rewrite the segment in the
+	// full-width v1 layout — a restart must open and serve it unchanged,
+	// never rewriting a healthy file. Then corrupt it: recovery must
+	// quarantine, fall back to the CSV, and rebuild the segment in place
+	// at v2 — the v1→v2 upgrade riding the existing recovery ladder.
+	segPath := filepath.Join(catalogDir, "table.seg")
+	infoV2, err := colstore.Inspect(segPath)
+	if err != nil {
+		return fmt.Errorf("inspect rebuilt segment: %w", err)
+	}
+	if infoV2.Version != 2 {
+		return fmt.Errorf("rebuilt segment is v%d, want v2", infoV2.Version)
+	}
+	table, err := colstore.Load(segPath)
+	if err != nil {
+		return fmt.Errorf("load segment for downgrade: %w", err)
+	}
+	if _, err := colstore.WriteTableVersion(segPath, table, 1); err != nil {
+		return fmt.Errorf("downgrade segment to v1: %w", err)
+	}
+	infoV1, err := colstore.Inspect(segPath)
+	if err != nil {
+		return fmt.Errorf("inspect v1 segment: %w", err)
+	}
+	if infoV1.Version != 1 {
+		return fmt.Errorf("downgraded segment is v%d, want v1", infoV1.Version)
+	}
+	if infoV1.DataBytes <= infoV2.DataBytes {
+		return fmt.Errorf("v1 payload (%d B) not larger than v2 (%d B) — encodings bought nothing", infoV1.DataBytes, infoV2.DataBytes)
+	}
+	srv3b, err := startServer(bin, addr, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart on v1 segment: %w", err)
+	}
+	defer srv3b.Process.Kill()
+	sessV1, err := post(base+"/v1/sessions", map[string]any{"dataset": "smoke", "budget": 1.0}, http.StatusCreated)
+	if err != nil {
+		return fmt.Errorf("session on v1 segment: %w", err)
+	}
+	idV1, _ := sessV1["id"].(string)
+	if _, err := post(base+"/v1/sessions/"+idV1+"/query", map[string]any{"query": queryText}, http.StatusOK); err != nil {
+		return fmt.Errorf("query over v1 segment: %w", err)
+	}
+	if err := stopServer(srv3b); err != nil {
+		return err
+	}
+	if info, err := colstore.Inspect(segPath); err != nil || info.Version != 1 {
+		return fmt.Errorf("healthy v1 segment did not survive serving (version %v, err %v)", info, err)
+	}
+	// Flip one byte in the first data page: the next restart sees a
+	// corrupt segment, quarantines it and rebuilds from the CSV — at v2.
+	if err := flipByteAt(segPath, 4096+100); err != nil {
+		return err
+	}
+	srv3c, logs3c, err := startServerCapture(bin, addr, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart on corrupt v1 segment: %w", err)
+	}
+	defer srv3c.Process.Kill()
+	if _, err := get(base + "/v1/datasets/smoke"); err != nil {
+		return fmt.Errorf("dataset lost on corrupt-v1 restart: %w", err)
+	}
+	upLine := recoveryLine(logs3c())
+	if !strings.Contains(upLine, "recovered from csv") || !strings.Contains(upLine, "segment rebuilt") {
+		return fmt.Errorf("corrupt v1 segment did not fall back to CSV; recovery log: %q", upLine)
+	}
+	if err := stopServer(srv3c); err != nil {
+		return err
+	}
+	infoUp, err := colstore.Inspect(segPath)
+	if err != nil {
+		return fmt.Errorf("inspect upgraded segment: %w", err)
+	}
+	if infoUp.Version != 2 {
+		return fmt.Errorf("recovery rebuilt the segment at v%d, want v2", infoUp.Version)
+	}
+	if infoUp.DataBytes >= infoV1.DataBytes {
+		return fmt.Errorf("upgraded v2 payload (%d B) not smaller than v1 (%d B)", infoUp.DataBytes, infoV1.DataBytes)
+	}
+	fmt.Printf("recoverysmoke: v1 served unchanged; corrupt v1 upgraded in place to v2 (%d B -> %d B payload)\n",
+		infoV1.DataBytes, infoUp.DataBytes)
+
 	// (b) Segment-only path: delete the source CSV and restart with
 	// -cold-start. Recovery must come from the segment alone and the
 	// dataset must keep answering queries.
@@ -211,6 +295,24 @@ func run() error {
 		return fmt.Errorf("cold-start query (answers must come from the segment): %w", err)
 	}
 	return stopServer(srv4)
+}
+
+// flipByteAt XORs one byte of the file in place.
+func flipByteAt(path string, off int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("flip byte at %d: %w", off, err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("flip byte at %d: %w", off, err)
+	}
+	return nil
 }
 
 // stopServer SIGTERMs the server and waits for a clean exit.

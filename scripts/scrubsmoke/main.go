@@ -149,11 +149,26 @@ func run() error {
 
 	// Quarantine + CSV-fallback rebuild: the corrupt file is aside and the
 	// segment at the canonical path passes a full checksum verification.
-	if _, err := os.Stat(segPath + ".quarantined"); err != nil {
-		return fmt.Errorf("corrupt segment not quarantined: %v", err)
-	}
-	if _, err := colstore.Verify(segPath); err != nil {
-		return fmt.Errorf("rebuilt segment fails verification: %v", err)
+	// The violation counter increments before the heal completes, so poll:
+	// there is a window where the corrupt file is renamed aside but the
+	// rebuilt segment has not landed yet.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		_, statErr := os.Stat(segPath + ".quarantined")
+		var verifyErr error
+		if statErr == nil {
+			_, verifyErr = colstore.Verify(segPath)
+			if verifyErr == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			if statErr != nil {
+				return fmt.Errorf("corrupt segment not quarantined: %v", statErr)
+			}
+			return fmt.Errorf("rebuilt segment fails verification: %v", verifyErr)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 	fmt.Println("scrubsmoke: corrupt segment quarantined, rebuilt from CSV, verifies clean")
 
