@@ -3,7 +3,9 @@
 // engine.Ask (the pre-scheduler serialized path: every request pays its
 // own full columnar scan) or through the per-dataset scheduler (pending
 // workloads coalesced into one deduplicated, parallel columnar pass per
-// batch). Run with
+// batch). The "traced", "scrubbed" and "analytics" modes layer the
+// observability, verification and workload-attribution planes on top of
+// "sched" to price each one. Run with
 //
 //	go test -run '^$' -bench SchedulerThroughput -benchmem
 //
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/accuracy"
+	"repro/internal/analytics"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/mechanism"
@@ -67,7 +70,7 @@ func schedBenchQuery(b *testing.B, n int64) *query.Query {
 
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	for _, analysts := range []int{1, 8, 64} {
-		for _, mode := range []string{"direct", "sched", "traced", "scrubbed"} {
+		for _, mode := range []string{"direct", "sched", "traced", "scrubbed", "analytics"} {
 			b.Run(fmt.Sprintf("analysts=%d/%s", analysts, mode), func(b *testing.B) {
 				d := columnarBenchTable(schedBenchRows(b))
 				cache := workload.NewTransformCache(workload.Options{})
@@ -97,6 +100,17 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 				var tracer *obs.Tracer
 				if mode == "traced" {
 					tracer = obs.New(obs.Config{})
+				}
+				// "analytics" is "traced" with the workload analytics plane
+				// attached: every finished trace is tagged for attribution
+				// and folded into the per-dataset aggregates and the
+				// session/workload SpaceSaving sketches on the request
+				// goroutine — the delta against "traced" is the attribution
+				// overhead.
+				var collector *analytics.Collector
+				if mode == "analytics" {
+					collector = analytics.NewCollector(analytics.Config{})
+					tracer = obs.New(obs.Config{OnFinish: collector.Observe})
 				}
 				// "scrubbed" is "sched" with the continuous verification
 				// plane live: a background scrubber re-validating every
@@ -139,6 +153,11 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 							case tracer != nil:
 								rid := fmt.Sprintf("bench-%d", n)
 								ctx, tr := tracer.Start(obs.WithRequestID(context.Background(), rid), rid, "bench query")
+								if collector != nil {
+									// The workload tag comes from engine.Prepare.
+									tr.Tag("dataset", "adult")
+									tr.Tag("session", fmt.Sprintf("s%d", a))
+								}
 								_, err = s.Ask(ctx, "adult", fmt.Sprintf("s%d", a), engines[a], q)
 								tr.Finish()
 							case s != nil:

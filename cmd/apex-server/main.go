@@ -43,10 +43,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -90,6 +92,24 @@ func main() {
 			"scrub read-rate limit in MiB/s so verification never competes with query service for disk bandwidth (0 = unpaced)")
 		adaptiveSched = flag.Bool("adaptive-sched", false,
 			"let the scheduler tune GatherDelay/MaxBatch per dataset from live queue-wait histograms (decisions are logged and exported as gauges)")
+		disableAnalytics = flag.Bool("disable-analytics", false,
+			"turn off the workload analytics plane (cost attribution, /v1/debug/top, /v1/debug/timeseries, flight recorder)")
+		analyticsTopK = flag.Int("analytics-topk", 0,
+			"capacity of the per-session/per-workload cost heavy-hitter sketches (0 = default 64)")
+		tsWindow = flag.Int("timeseries-window", 0,
+			"samples retained in the in-process time-series ring served at /v1/debug/timeseries (0 = default 600)")
+		tsInterval = flag.Duration("timeseries-interval", 0,
+			"self-snapshot pace of the time-series sampler, also the flight-recorder check pace (0 = default 1s)")
+		recP99 = flag.Duration("recorder-p99", 0,
+			"capture an incident bundle when p99 total request latency reaches this (0 = latency trigger off; adjustable at runtime via PUT /v1/debug/config)")
+		recQueueDepth = flag.Int("recorder-queue-depth", 0,
+			"capture an incident bundle when any dataset queue reaches this depth (0 = depth trigger off; adjustable at runtime via PUT /v1/debug/config)")
+		recProfile = flag.Duration("recorder-profile", 0,
+			"CPU-profile length inside each incident bundle (0 = default 2s)")
+		recCooldown = flag.Duration("recorder-cooldown", 0,
+			"minimum spacing between incident captures (0 = default 5m)")
+		recMaxBundles = flag.Int("recorder-max-bundles", 0,
+			"incident bundles kept on disk before the oldest are pruned (0 = default 8)")
 	)
 	flag.Var(&datasets, "dataset", "dataset to host as name=data.csv,schema.file (repeatable)")
 	flag.Parse()
@@ -170,7 +190,27 @@ func main() {
 			Interval:        *scrubInterval,
 			ReadBytesPerSec: *scrubRate << 20,
 		},
+		Analytics: server.AnalyticsConfig{
+			Disable:            *disableAnalytics,
+			TopK:               *analyticsTopK,
+			TimeseriesWindow:   *tsWindow,
+			TimeseriesInterval: *tsInterval,
+			Recorder: analytics.RecorderConfig{
+				Dir:                 incidentDir(*dataDir),
+				MaxBundles:          *recMaxBundles,
+				CPUProfileDuration:  *recProfile,
+				Cooldown:            *recCooldown,
+				P99Threshold:        *recP99,
+				QueueDepthThreshold: *recQueueDepth,
+			},
+		},
 	})
+	if dir := incidentDir(*dataDir); dir != "" && !*disableAnalytics {
+		log.Printf("apex-server: flight recorder armed: bundles under %s (p99 trigger: %s, queue-depth trigger: %d)",
+			dir, *recP99, *recQueueDepth)
+	} else if (*recP99 > 0 || *recQueueDepth > 0) && incidentDir(*dataDir) == "" {
+		log.Printf("apex-server: flight recorder triggers set but no -data-dir; recorder disabled (bundles need a durable directory)")
+	}
 	if *scrubInterval > 0 {
 		log.Printf("apex-server: background scrubber on: cycle every %s, reads paced at %d MiB/s", *scrubInterval, *scrubRate)
 	}
@@ -251,6 +291,15 @@ func datasetList(reg *server.Registry) string {
 		return "none"
 	}
 	return strings.Join(names, ", ")
+}
+
+// incidentDir places flight-recorder bundles under the durable data
+// directory; without one the recorder stays off.
+func incidentDir(dataDir string) string {
+	if dataDir == "" {
+		return ""
+	}
+	return filepath.Join(dataDir, "incidents")
 }
 
 func durabilityDesc(dataDir string) string {

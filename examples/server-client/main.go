@@ -119,9 +119,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := c.Query(sess.ID,
-		"BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 200 CONFIDENCE 0.95;"); err != nil {
+	archiveQuery := "BIN D ON COUNT(*) WHERE W = { age BETWEEN 0 AND 50, age BETWEEN 50 AND 100 } ERROR 200 CONFIDENCE 0.95;"
+
+	// EXPLAIN before asking: the dry run predicts mechanism, worst-case
+	// cost, admission and the exact column scan — while spending zero ε
+	// (the session's budget and transcript are untouched).
+	ex, err := c.Explain(sess.ID, archiveQuery)
+	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Printf("\nexplain (zero-cost dry run on %q): mechanism=%s eps<=%.3f denied=%v storage=%s scan=%d cols/%d bytes spent=%.3f\n",
+		ex.Dataset, ex.Mechanism, ex.EpsilonUpper, ex.Denied, ex.Storage,
+		len(ex.PlannedColumns), ex.PredictedScanBytes, ex.Spent)
+
+	if _, err := c.Query(sess.ID, archiveQuery); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cost attribution: the heaviest workloads by attributed CPU, from the
+	// analytics plane's space-saving sketch.
+	top, err := c.Top("workload", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop workloads by attributed CPU (from /v1/debug/top):")
+	for _, e := range top.Entries {
+		fmt.Printf("  %-18s %-8s %2d req, cpu %6.2fms, scanned %6.0f KiB, eps %.3f\n",
+			e.Key, e.Dataset, e.Cost.Requests,
+			float64(e.Cost.CPUNanos)/1e6, float64(e.Cost.ScanBytes)/1024, e.Cost.Epsilon)
 	}
 
 	// One /metrics scrape: summarize the per-mechanism latency histograms

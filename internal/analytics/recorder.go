@@ -1,0 +1,322 @@
+package analytics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RecorderConfig tunes a FlightRecorder.
+type RecorderConfig struct {
+	// Dir is the incident-bundle directory (created on first capture).
+	// Required: an empty Dir makes NewFlightRecorder return nil, which is
+	// a valid no-op recorder.
+	Dir string
+	// MaxBundles bounds the on-disk bundle count; the oldest bundles are
+	// pruned past it. <= 0 means DefaultMaxBundles.
+	MaxBundles int
+	// CPUProfileDuration is how long the capture profiles the CPU;
+	// <= 0 means DefaultProfileDuration.
+	CPUProfileDuration time.Duration
+	// Cooldown is the minimum spacing between captures, so a sustained
+	// breach produces one bundle, not one per second. <= 0 means
+	// DefaultCooldown.
+	Cooldown time.Duration
+
+	// P99Threshold triggers a capture when the p99 total request latency
+	// meets it; 0 disables the latency trigger. Runtime-adjustable via
+	// SetThresholds.
+	P99Threshold time.Duration
+	// QueueDepthThreshold triggers a capture when any dataset queue
+	// reaches this depth; 0 disables the depth trigger. Runtime-
+	// adjustable via SetThresholds.
+	QueueDepthThreshold int
+
+	// P99 supplies the current p99 total latency (ok=false when there is
+	// no signal yet). Typically obs.Tracer.PhaseQuantile("total", 0.99).
+	P99 func() (time.Duration, bool)
+	// QueueDepth supplies the current maximum per-dataset queue depth.
+	QueueDepth func() int
+	// Traces supplies the recent trace ring for the bundle's traces.json.
+	Traces func() any
+
+	// Log receives one structured JSON line per capture; nil means
+	// os.Stderr.
+	Log io.Writer
+	// Metrics, when set, receives apex_flight_recordings_total{trigger}.
+	Metrics *metrics.Registry
+}
+
+// Defaults for RecorderConfig.
+const (
+	DefaultMaxBundles      = 8
+	DefaultProfileDuration = 2 * time.Second
+	DefaultCooldown        = 5 * time.Minute
+)
+
+// FlightRecorder captures anomaly incident bundles: when a trigger
+// condition holds at check time (and the cooldown has passed), it writes
+// a pprof CPU profile, a full goroutine dump, the recent trace ring and a
+// meta record into one bundle directory under Dir, pruning the oldest
+// bundles beyond MaxBundles. Checks ride the analytics sampler's 1 Hz
+// pace; captures run on their own goroutine so the sampler never blocks
+// behind the profile. A nil *FlightRecorder ignores every call.
+type FlightRecorder struct {
+	cfg RecorderConfig
+
+	p99NS  atomic.Int64
+	qdepth atomic.Int64
+
+	mu        sync.Mutex // serializes captures and lastCapture
+	lastAt    time.Time
+	capturing bool
+
+	logMu sync.Mutex
+}
+
+// NewFlightRecorder builds a recorder, or returns nil (a no-op recorder)
+// when cfg.Dir is empty.
+func NewFlightRecorder(cfg RecorderConfig) *FlightRecorder {
+	if cfg.Dir == "" {
+		return nil
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = DefaultMaxBundles
+	}
+	if cfg.CPUProfileDuration <= 0 {
+		cfg.CPUProfileDuration = DefaultProfileDuration
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.Log == nil {
+		cfg.Log = os.Stderr
+	}
+	fr := &FlightRecorder{cfg: cfg}
+	fr.p99NS.Store(int64(cfg.P99Threshold))
+	fr.qdepth.Store(int64(cfg.QueueDepthThreshold))
+	if cfg.Metrics != nil {
+		// Declare the family (with both trigger series) before the first
+		// scrape so dashboards can alert on it from process start.
+		cfg.Metrics.Counter("apex_flight_recordings_total",
+			"Incident bundles captured by the flight recorder, by trigger.",
+			metrics.L("trigger", "p99_latency"))
+		cfg.Metrics.Counter("apex_flight_recordings_total",
+			"Incident bundles captured by the flight recorder, by trigger.",
+			metrics.L("trigger", "queue_depth"))
+	}
+	return fr
+}
+
+// SetThresholds adjusts the trigger thresholds at runtime (0 disables a
+// trigger). Safe for concurrent use.
+func (fr *FlightRecorder) SetThresholds(p99 time.Duration, queueDepth int) {
+	if fr == nil {
+		return
+	}
+	if p99 < 0 {
+		p99 = 0
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	fr.p99NS.Store(int64(p99))
+	fr.qdepth.Store(int64(queueDepth))
+}
+
+// Thresholds returns the current trigger thresholds.
+func (fr *FlightRecorder) Thresholds() (p99 time.Duration, queueDepth int) {
+	if fr == nil {
+		return 0, 0
+	}
+	return time.Duration(fr.p99NS.Load()), int(fr.qdepth.Load())
+}
+
+// Dir returns the bundle directory ("" on a nil recorder).
+func (fr *FlightRecorder) Dir() string {
+	if fr == nil {
+		return ""
+	}
+	return fr.cfg.Dir
+}
+
+// Check evaluates the trigger conditions at now and, when one holds
+// outside the cooldown, starts an asynchronous capture. Designed to ride
+// the analytics sampler's tick.
+func (fr *FlightRecorder) Check(now time.Time) {
+	if fr == nil {
+		return
+	}
+	var reason string
+	detail := map[string]any{}
+	if th := time.Duration(fr.p99NS.Load()); th > 0 && fr.cfg.P99 != nil {
+		if p99, ok := fr.cfg.P99(); ok && p99 >= th {
+			reason = "p99_latency"
+			detail["p99_ms"] = float64(p99.Microseconds()) / 1e3
+			detail["p99_threshold_ms"] = float64(th.Microseconds()) / 1e3
+		}
+	}
+	if reason == "" {
+		if th := int(fr.qdepth.Load()); th > 0 && fr.cfg.QueueDepth != nil {
+			if depth := fr.cfg.QueueDepth(); depth >= th {
+				reason = "queue_depth"
+				detail["queue_depth"] = depth
+				detail["queue_depth_threshold"] = th
+			}
+		}
+	}
+	if reason == "" {
+		return
+	}
+
+	fr.mu.Lock()
+	if fr.capturing || (!fr.lastAt.IsZero() && now.Sub(fr.lastAt) < fr.cfg.Cooldown) {
+		fr.mu.Unlock()
+		return
+	}
+	fr.capturing = true
+	fr.lastAt = now
+	fr.mu.Unlock()
+
+	go func() {
+		defer func() {
+			fr.mu.Lock()
+			fr.capturing = false
+			fr.mu.Unlock()
+		}()
+		if _, err := fr.Capture(reason, detail); err != nil {
+			fr.logLine(map[string]any{
+				"time": time.Now().UTC(), "level": "error",
+				"msg": "flight recorder capture failed", "reason": reason, "error": err.Error(),
+			})
+		}
+	}()
+}
+
+// Capture synchronously writes one incident bundle and prunes old ones,
+// returning the bundle directory. It blocks for CPUProfileDuration while
+// the profile collects. Exported for tests and for operator-initiated
+// captures.
+func (fr *FlightRecorder) Capture(reason string, detail map[string]any) (string, error) {
+	if fr == nil {
+		return "", fmt.Errorf("analytics: flight recorder disabled")
+	}
+	start := time.Now().UTC()
+	name := fmt.Sprintf("incident-%s-%s", start.Format("20060102T150405.000Z0700"), reason)
+	dir := filepath.Join(fr.cfg.Dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+
+	// Goroutine dump first: it is instantaneous and most valuable if the
+	// process is about to fall over.
+	if f, err := os.Create(filepath.Join(dir, "goroutines.txt")); err == nil {
+		_ = pprof.Lookup("goroutine").WriteTo(f, 2)
+		_ = f.Close()
+	}
+
+	// Trace ring: the requests that led up to the anomaly.
+	if fr.cfg.Traces != nil {
+		if b, err := json.MarshalIndent(fr.cfg.Traces(), "", "  "); err == nil {
+			_ = os.WriteFile(filepath.Join(dir, "traces.json"), b, 0o644)
+		}
+	}
+
+	// CPU profile of the anomaly in progress. StartCPUProfile fails when
+	// another profile is running (e.g. an operator's /debug/pprof pull);
+	// the bundle is still useful without it, so record the error instead
+	// of failing the capture.
+	profileErr := ""
+	if f, err := os.Create(filepath.Join(dir, "cpu.pprof")); err == nil {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			profileErr = err.Error()
+			_ = f.Close()
+			_ = os.Remove(filepath.Join(dir, "cpu.pprof"))
+		} else {
+			time.Sleep(fr.cfg.CPUProfileDuration)
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}
+	}
+
+	meta := map[string]any{
+		"reason":              reason,
+		"detail":              detail,
+		"started":             start,
+		"finished":            time.Now().UTC(),
+		"profile_duration_ms": fr.cfg.CPUProfileDuration.Milliseconds(),
+		"goroutines":          runtime.NumGoroutine(),
+	}
+	if profileErr != "" {
+		meta["cpu_profile_error"] = profileErr
+	}
+	b, err := json.MarshalIndent(meta, "", "  ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(dir, "meta.json"), b, 0o644)
+	}
+	if err != nil {
+		return dir, err
+	}
+
+	fr.prune()
+	if fr.cfg.Metrics != nil {
+		fr.cfg.Metrics.Counter("apex_flight_recordings_total",
+			"Incident bundles captured by the flight recorder, by trigger.",
+			metrics.L("trigger", reason)).Inc()
+	}
+	fr.logLine(map[string]any{
+		"time": time.Now().UTC(), "level": "warn", "msg": "flight recorder captured incident",
+		"reason": reason, "bundle": dir, "detail": detail,
+	})
+	return dir, nil
+}
+
+// Bundles lists the bundle directory names under Dir, oldest first (the
+// incident-<timestamp>-<reason> naming sorts chronologically).
+func (fr *FlightRecorder) Bundles() []string {
+	if fr == nil {
+		return nil
+	}
+	ents, err := os.ReadDir(fr.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() && len(e.Name()) > len("incident-") && e.Name()[:len("incident-")] == "incident-" {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// prune removes the oldest bundles beyond MaxBundles.
+func (fr *FlightRecorder) prune() {
+	names := fr.Bundles()
+	for len(names) > fr.cfg.MaxBundles {
+		_ = os.RemoveAll(filepath.Join(fr.cfg.Dir, names[0]))
+		names = names[1:]
+	}
+}
+
+func (fr *FlightRecorder) logLine(fields map[string]any) {
+	b, err := json.Marshal(fields)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	fr.logMu.Lock()
+	_, _ = fr.cfg.Log.Write(b)
+	fr.logMu.Unlock()
+}

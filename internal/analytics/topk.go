@@ -1,0 +1,119 @@
+package analytics
+
+import "sort"
+
+// topK is a SpaceSaving heavy-hitters sketch (Metwally et al.) over a
+// weighted stream: it tracks at most k keys and guarantees that any key
+// whose true total weight exceeds (stream total)/k is present, with a
+// per-entry overestimation bound. Weights here are CPU seconds — the
+// resource the shard router and capacity planner care about — while each
+// monitored entry also accumulates the full cost vector observed since it
+// was (re)adopted into the sketch.
+type topK struct {
+	k     int
+	items map[string]*tkItem
+	// list holds the same entries as items: the min-eviction scan runs
+	// over this slice (a linear pass over at most k pointers) instead of
+	// iterating the map, which keeps the saturated-sketch hot path — every
+	// distinct new key evicts — cheap enough for the request goroutine.
+	list []*tkItem
+}
+
+type tkItem struct {
+	key    string
+	weight float64 // SpaceSaving counter: true weight + overestimate
+	errs   float64 // overestimation bound (weight inherited on adoption)
+	cost   CostVector
+	// last-seen context for display: the owning dataset and a bounded
+	// query text sample (workload dimension only).
+	dataset string
+	query   string
+}
+
+func newTopK(k int) *topK {
+	if k <= 0 {
+		k = 64
+	}
+	return &topK{k: k, items: make(map[string]*tkItem, k)}
+}
+
+// observe folds one request's weight and cost under key.
+func (t *topK) observe(key string, weight float64, rc *RequestCost) {
+	if key == "" {
+		return
+	}
+	it, ok := t.items[key]
+	if !ok {
+		if len(t.items) < t.k {
+			it = &tkItem{key: key}
+			t.items[key] = it
+			t.list = append(t.list, it)
+		} else {
+			// Evict the minimum-weight entry and adopt its counter: the
+			// classic SpaceSaving replacement, which preserves the
+			// guarantee that a true heavy hitter cannot be displaced. The
+			// evicted slot is recycled in place under its new identity.
+			min := t.list[0]
+			for _, cand := range t.list[1:] {
+				if cand.weight < min.weight {
+					min = cand
+				}
+			}
+			delete(t.items, min.key)
+			*min = tkItem{key: key, weight: min.weight, errs: min.weight}
+			t.items[key] = min
+			it = min
+		}
+	}
+	it.weight += weight
+	it.cost.Add(rc.Vector)
+	it.dataset = rc.Dataset
+	if rc.Query != "" {
+		it.query = rc.Query
+	}
+}
+
+// TopEntry is one ranked heavy hitter as served by GET /v1/debug/top.
+type TopEntry struct {
+	// Key is the entry's identity in its dimension: a dataset name, a
+	// session ID, or a workload ID (WorkloadID hash of the canonical key).
+	Key string `json:"key"`
+	// Dataset is the owning dataset (session/workload dimensions).
+	Dataset string `json:"dataset,omitempty"`
+	// Query is a bounded sample of the last query text seen for the key
+	// (workload dimension), so the hash is human-readable.
+	Query string `json:"query,omitempty"`
+	// WeightCPUSeconds is the SpaceSaving ranking weight: attributed CPU
+	// seconds, possibly overestimated by at most MaxErrorCPUSeconds.
+	WeightCPUSeconds float64 `json:"weight_cpu_seconds"`
+	// MaxErrorCPUSeconds bounds the overestimation inherited when the key
+	// displaced another sketch entry (0 for exactly-tracked keys).
+	MaxErrorCPUSeconds float64 `json:"max_error_cpu_seconds,omitempty"`
+	// Cost is the cost vector accumulated while the key was monitored.
+	Cost CostVector `json:"cost"`
+}
+
+// top returns up to n entries, heaviest first.
+func (t *topK) top(n int) []TopEntry {
+	out := make([]TopEntry, 0, len(t.items))
+	for _, it := range t.items {
+		out = append(out, TopEntry{
+			Key:                it.key,
+			Dataset:            it.dataset,
+			Query:              it.query,
+			WeightCPUSeconds:   it.weight,
+			MaxErrorCPUSeconds: it.errs,
+			Cost:               it.cost,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WeightCPUSeconds != out[j].WeightCPUSeconds {
+			return out[i].WeightCPUSeconds > out[j].WeightCPUSeconds
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

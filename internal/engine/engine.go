@@ -503,6 +503,10 @@ func (e *Engine) Prepare(ctx context.Context, q *query.Query) (*exec.Plan, *Answ
 		return nil, nil, err
 	}
 	key := workload.Key(q.Predicates)
+	// Stamp the canonical workload identity on the request trace while the
+	// rendered key is in hand — the analytics plane attributes cost per
+	// workload from this tag without re-rendering the predicates.
+	obs.FromContext(ctx).Tag("workload", workload.ID(key))
 	prepSpan.Set("transform_cache_hit", e.transforms.Has(key))
 	tr, err := e.transform(q)
 	if err != nil {

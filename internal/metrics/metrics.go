@@ -149,6 +149,68 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// HistogramSnapshot is one consistent read of a histogram: bucket upper
+// bounds (ascending, +Inf implicit), per-bucket counts (len(Buckets)+1,
+// last is the overflow bucket), sum and total.
+type HistogramSnapshot struct {
+	Buckets []float64
+	Counts  []uint64
+	Sum     float64
+	Total   uint64
+}
+
+// Snapshot copies the histogram's state under one lock hold, so quantile
+// estimates and delta computations see buckets, sum and total from the
+// same instant.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Buckets: h.buckets, // immutable after construction
+		Counts:  append([]uint64(nil), h.counts...),
+		Sum:     h.sum,
+		Total:   h.total,
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) the way Prometheus'
+// histogram_quantile does: find the bucket holding the target rank and
+// interpolate linearly within it. Observations in the overflow bucket
+// clamp to the highest finite bound. Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Total == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Total)
+	var cum float64
+	for i, ub := range s.Buckets {
+		prev := cum
+		cum += float64(s.Counts[i])
+		if cum >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Buckets[i-1]
+			}
+			if s.Counts[i] == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-prev)/float64(s.Counts[i])
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1]
+}
+
+// Quantile is Snapshot().Quantile(q) — a convenience for one-off reads.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
 func (h *Histogram) render(sb *strings.Builder, name, labels string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -110,3 +110,35 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{0.1, 0.2, 0.4, 0.8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations spread uniformly over (0, 0.4]: 25 per bucket up to
+	// 0.4, none beyond.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.004)
+	}
+	// p50 interpolates inside the (0.1, 0.2] bucket: 25 observations below
+	// it, rank 50 is at its midpoint.
+	if got := h.Quantile(0.5); got < 0.15 || got > 0.25 {
+		t.Fatalf("p50 = %v, want ~0.2", got)
+	}
+	if got := h.Quantile(0.99); got < 0.35 || got > 0.4+1e-9 {
+		t.Fatalf("p99 = %v, want within (0.35, 0.4]", got)
+	}
+	// Observations beyond the last finite bucket clamp to it rather than
+	// inventing a value for the +Inf bucket.
+	h.Observe(100)
+	if got := h.Quantile(1.0); got != 0.8 {
+		t.Fatalf("p100 with overflow = %v, want clamp to 0.8", got)
+	}
+	// Snapshot is self-consistent with the live histogram.
+	snap := h.Snapshot()
+	if snap.Total != h.Count() || snap.Quantile(0.5) != h.Quantile(0.5) {
+		t.Fatalf("snapshot diverges: %+v", snap)
+	}
+}

@@ -101,10 +101,18 @@ type Config struct {
 	// (apex_phase_seconds) and the trace/slow-query counters.
 	Metrics *metrics.Registry
 	// SlowThreshold, when > 0, logs every trace at least this slow as one
-	// structured JSON line to SlowWriter.
+	// structured JSON line to SlowWriter. The threshold is runtime-
+	// adjustable via SetSlowThreshold, so it can be lowered (or enabled
+	// from 0) while chasing an incident without a restart.
 	SlowThreshold time.Duration
 	// SlowWriter receives slow-query log lines; nil means os.Stderr.
 	SlowWriter interface{ Write([]byte) (int, error) }
+	// OnFinish, when set, receives every finished trace's rendered view
+	// right after it is pushed into the ring — the feed the analytics
+	// collector builds per-request cost vectors from. It runs on the
+	// request's goroutine, so implementations must be fast and must not
+	// retain or mutate the view's maps/slices beyond the call.
+	OnFinish func(TraceView)
 }
 
 // DefaultCapacity is the default trace-ring size.
@@ -117,6 +125,11 @@ type Tracer struct {
 	capacity int
 	registry *metrics.Registry
 	slow     *slowLog
+	onFinish func(TraceView)
+
+	// slowNS is the slow-query threshold in nanoseconds, atomically
+	// adjustable at runtime (0 disables the log).
+	slowNS atomic.Int64
 
 	// phase maps phase name → histogram, copy-on-write: reads are one
 	// atomic load (observePhase runs several times per request), writes
@@ -147,9 +160,11 @@ func New(cfg Config) *Tracer {
 	}
 	empty := map[string]*metrics.Histogram{}
 	t.phase.Store(&empty)
-	if cfg.SlowThreshold > 0 {
-		t.slow = newSlowLog(cfg.SlowThreshold, cfg.SlowWriter)
-	}
+	// The slow log is always constructed so the threshold can be raised
+	// from 0 at runtime (SetSlowThreshold); a zero threshold logs nothing.
+	t.slow = newSlowLog(cfg.SlowWriter)
+	t.slowNS.Store(int64(cfg.SlowThreshold))
+	t.onFinish = cfg.OnFinish
 	if cfg.Metrics != nil {
 		t.traces = cfg.Metrics.Counter("apex_traces_recorded_total",
 			"Finished request traces recorded into the debug ring.")
@@ -276,9 +291,52 @@ func (tr *Trace) Finish() {
 		t.filled = true
 	}
 	t.ringMu.Unlock()
-	if t.slow != nil && t.slow.log(&view) && t.slowN != nil {
+	if threshold := time.Duration(t.slowNS.Load()); threshold > 0 &&
+		t.slow.log(&view, threshold) && t.slowN != nil {
 		t.slowN.Inc()
 	}
+	if t.onFinish != nil {
+		t.onFinish(view)
+	}
+}
+
+// SetSlowThreshold adjusts the slow-query log threshold at runtime; 0
+// disables the log. Safe for concurrent use.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.slowNS.Store(int64(d))
+}
+
+// SlowThreshold returns the current slow-query log threshold (0 when the
+// log is disabled, or on a nil Tracer).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNS.Load())
+}
+
+// PhaseQuantile estimates the q-quantile of one phase's latency histogram
+// (apex_phase_seconds{phase=name}) in seconds. ok is false when the phase
+// has no observations yet, metrics are unregistered, or the Tracer is nil.
+func (t *Tracer) PhaseQuantile(name string, q float64) (seconds float64, ok bool) {
+	if t == nil || t.registry == nil {
+		return 0, false
+	}
+	h, found := (*t.phase.Load())[name]
+	if !found {
+		return 0, false
+	}
+	snap := h.Snapshot()
+	if snap.Total == 0 {
+		return 0, false
+	}
+	return snap.Quantile(q), true
 }
 
 // FromContext returns the trace whose span tree ctx is inside, or nil.

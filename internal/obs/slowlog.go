@@ -8,22 +8,22 @@ import (
 	"time"
 )
 
-// slowLog emits one structured JSON line per trace at or above its
-// threshold. Lines are self-contained: trace ID, dataset/session/query
+// slowLog emits one structured JSON line per trace at or above the
+// caller-supplied threshold (held by the Tracer as a runtime-adjustable
+// atomic). Lines are self-contained: trace ID, dataset/session/query
 // tags, total duration, the threshold that tripped, and a flat map of
 // top-level phase durations — enough to see where the time went without
 // fetching the full trace, and carrying the ID to fetch it when needed.
 type slowLog struct {
-	threshold time.Duration
-	mu        sync.Mutex
-	w         io.Writer
+	mu sync.Mutex
+	w  io.Writer
 }
 
-func newSlowLog(threshold time.Duration, w interface{ Write([]byte) (int, error) }) *slowLog {
+func newSlowLog(w interface{ Write([]byte) (int, error) }) *slowLog {
 	if w == nil {
 		w = os.Stderr
 	}
-	return &slowLog{threshold: threshold, w: w}
+	return &slowLog{w: w}
 }
 
 // slowLine is the JSON shape of one slow-query log line.
@@ -42,10 +42,10 @@ type slowLine struct {
 	PhasesMS    map[string]float64 `json:"phases_ms,omitempty"`
 }
 
-// log emits v if it is slow enough, reporting whether it did.
-func (l *slowLog) log(v *TraceView) bool {
+// log emits v if it is at or above threshold, reporting whether it did.
+func (l *slowLog) log(v *TraceView, threshold time.Duration) bool {
 	d := time.Duration(v.DurationUS) * time.Microsecond
-	if d < l.threshold {
+	if d < threshold {
 		return false
 	}
 	line := slowLine{
@@ -59,7 +59,7 @@ func (l *slowLog) log(v *TraceView) bool {
 		Query:       v.Tags["query"],
 		Status:      v.Tags["status"],
 		DurationMS:  float64(v.DurationUS) / 1e3,
-		ThresholdMS: float64(l.threshold.Microseconds()) / 1e3,
+		ThresholdMS: float64(threshold.Microseconds()) / 1e3,
 	}
 	if len(v.Spans) > 0 {
 		line.PhasesMS = make(map[string]float64, len(v.Spans))

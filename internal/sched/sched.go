@@ -673,11 +673,23 @@ func (s *Scheduler) runBatch(d *dsQueue, batch []*request) {
 	}
 	if warmed > 0 {
 		scanEnd := time.Now()
-		for _, f := range flights {
+		// Attribute the shared scan's traffic across the batch for the
+		// analytics plane: equal integer shares with the remainder spread
+		// one byte at a time, so the per-request scan_share_bytes attrs
+		// sum exactly to the BatchStats total the bandwidth counters saw
+		// (and a batch of one is attributed its exact BatchStats figure).
+		share := scanBytes / int64(len(flights))
+		rem := scanBytes % int64(len(flights))
+		for i, f := range flights {
 			if sp := obs.RecordSpan(f.req.ctx, "scan", scanStart, scanEnd); sp != nil {
 				sp.Set("batch_size", len(flights))
 				sp.Set("warmed", warmed)
 				sp.Set("scan_bytes", int(scanBytes))
+				b := share
+				if int64(i) < rem {
+					b++
+				}
+				sp.Set("scan_share_bytes", int(b))
 			}
 		}
 	}

@@ -233,6 +233,61 @@ func (c *Client) Traces(dataset, session string, minDuration time.Duration, limi
 	return out.Traces, nil
 }
 
+// Explain runs the dry-run EXPLAIN for one query: the server predicts
+// the mechanism, cost interval, admission verdict and scan plan exactly
+// as a real query would resolve them, but reserves and charges nothing —
+// the session's spent budget, transcript and WAL are untouched.
+func (c *Client) Explain(sessionID, queryText string) (*server.ExplainResponse, error) {
+	var out server.ExplainResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/explain",
+		server.QueryRequest{Query: queryText}, &out)
+	return &out, err
+}
+
+// Top fetches the cost heavy hitters ranked by attributed CPU seconds.
+// by is "workload" (default when empty), "dataset" or "session"; k <= 0
+// takes the server default.
+func (c *Client) Top(by string, k int) (*server.TopResponse, error) {
+	q := url.Values{}
+	if by != "" {
+		q.Set("by", by)
+	}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	path := "/v1/debug/top"
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out server.TopResponse
+	return &out, c.do(http.MethodGet, path, nil, &out)
+}
+
+// Timeseries fetches the server's in-process history ring, oldest sample
+// first; n <= 0 returns the whole window.
+func (c *Client) Timeseries(n int) (*server.TimeseriesResponse, error) {
+	path := "/v1/debug/timeseries"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out server.TimeseriesResponse
+	return &out, c.do(http.MethodGet, path, nil, &out)
+}
+
+// DebugConfig fetches the runtime-adjustable observability knobs.
+func (c *Client) DebugConfig() (*server.DebugConfig, error) {
+	var out server.DebugConfig
+	return &out, c.do(http.MethodGet, "/v1/debug/config", nil, &out)
+}
+
+// SetDebugConfig adjusts the runtime observability knobs (slow-query
+// threshold, flight-recorder triggers); zero-valued fields keep their
+// current values. Returns the resulting config.
+func (c *Client) SetDebugConfig(req server.DebugConfig) (*server.DebugConfig, error) {
+	var out server.DebugConfig
+	return &out, c.do(http.MethodPut, "/v1/debug/config", req, &out)
+}
+
 // Transcript fetches the session's full audit transcript.
 func (c *Client) Transcript(sessionID string) (*server.TranscriptResponse, error) {
 	return c.TranscriptSince(sessionID, 0)

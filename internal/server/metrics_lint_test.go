@@ -149,6 +149,10 @@ func lintExposition(t *testing.T, r io.Reader) {
 		"apex_dataset_budget_burn_epsilon_per_second",
 		"apex_dataset_budget_exhausted_seconds",
 		"apex_scan_bytes_total", "apex_scan_rows_total",
+		"apex_analytics_requests_total", "apex_analytics_cpu_seconds_total",
+		"apex_analytics_queue_seconds_total", "apex_analytics_translate_seconds_total",
+		"apex_analytics_scan_bytes_total", "apex_analytics_epsilon_total",
+		"apex_analytics_denied_total", "apex_analytics_cache_hits_total",
 	} {
 		if !helpSeen[want] {
 			t.Errorf("/metrics is missing the %q family", want)

@@ -140,13 +140,18 @@ const defaultTraceLimit = 50
 
 // handleTraces serves the ring of recent request traces, newest first.
 // Filters: ?dataset=, ?session=, ?min_duration= (Go duration syntax,
-// e.g. 50ms), ?limit=.
+// e.g. 50ms), ?limit=. Unknown parameters are structured 400s (with the
+// request's trace ID), never silently ignored: a misspelled filter must
+// not quietly return the unfiltered ring.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
 		writeError(w, r, http.StatusNotFound, CodeNotFound, "tracing is disabled on this server")
 		return
 	}
 	q := r.URL.Query()
+	if !validParams(w, r, q, "dataset", "session", "min_duration", "limit") {
+		return
+	}
 	f := obs.Filter{Dataset: q.Get("dataset"), Session: q.Get("session"), Limit: defaultTraceLimit}
 	if v := q.Get("min_duration"); v != "" {
 		d, err := time.ParseDuration(v)

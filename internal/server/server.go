@@ -7,11 +7,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analytics"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -56,6 +58,12 @@ type Config struct {
 	// families must exist from the first scrape); the paced background
 	// loop only starts when Scrub.Interval > 0.
 	Scrub ScrubConfig
+	// Analytics tunes the workload analytics plane: per-request cost
+	// attribution and heavy hitters (/v1/debug/top), the in-process
+	// time-series ring (/v1/debug/timeseries) and the anomaly flight
+	// recorder. The zero value enables attribution with defaults; the
+	// recorder stays off until Analytics.Recorder.Dir is set.
+	Analytics AnalyticsConfig
 }
 
 // ScrubConfig tunes the continuous verification plane.
@@ -88,6 +96,13 @@ type Server struct {
 	started  time.Time
 	ready    atomic.Bool
 
+	// Workload analytics plane (all nil when Analytics.Disable or, for
+	// the collector, when tracing is off — attribution reads finished
+	// traces).
+	analytics  *analytics.Collector
+	timeseries *analytics.Timeseries
+	recorder   *analytics.FlightRecorder
+
 	// Cached WAL-flusher fsync probe (readyz would otherwise fsync the
 	// data volume on every poll).
 	probeMu  sync.Mutex
@@ -110,6 +125,13 @@ func New(reg *Registry, cfg Config) *Server {
 	schedCfg.Metrics = reg2
 	registerStorageMetrics(reg, reg2)
 	registerTranslateMetrics(reg, reg2)
+	// The cost collector attributes finished traces, so it exists exactly
+	// when tracing does (and analytics is not disabled); it hooks the
+	// tracer's OnFinish on the request goroutine.
+	var collector *analytics.Collector
+	if !cfg.Trace.Disable && !cfg.Analytics.Disable {
+		collector = analytics.NewCollector(analytics.Config{TopK: cfg.Analytics.TopK})
+	}
 	var tracer *obs.Tracer
 	if !cfg.Trace.Disable {
 		tracer = obs.New(obs.Config{
@@ -117,6 +139,7 @@ func New(reg *Registry, cfg Config) *Server {
 			Metrics:       reg2,
 			SlowThreshold: cfg.Trace.SlowQuery,
 			SlowWriter:    cfg.Trace.SlowWriter,
+			OnFinish:      collector.Observe, // nil-safe on a nil collector
 		})
 	}
 	s := &Server{
@@ -129,6 +152,10 @@ func New(reg *Registry, cfg Config) *Server {
 		st:         cfg.Store,
 		budget:     newBudgetTracker(budgetWindow),
 		started:    time.Now(),
+		analytics:  collector,
+	}
+	if collector != nil {
+		collector.Publish(reg2, reg.Names)
 	}
 	// A non-durable server has nothing to recover and is born ready;
 	// a durable one becomes ready when RecoverSessions finishes.
@@ -141,6 +168,64 @@ func New(reg *Registry, cfg Config) *Server {
 		s.scrubber.Start()
 	}
 	s.registerHealthMetrics(reg2)
+
+	if !cfg.Analytics.Disable {
+		// Flight recorder: only live when an incident directory is
+		// configured (NewFlightRecorder returns a nil no-op otherwise).
+		rcfg := cfg.Analytics.Recorder
+		rcfg.Metrics = reg2
+		rcfg.P99 = func() (time.Duration, bool) {
+			sec, ok := s.tracer.PhaseQuantile("total", 0.99)
+			return time.Duration(sec * float64(time.Second)), ok
+		}
+		rcfg.QueueDepth = s.maxQueueDepth
+		rcfg.Traces = func() any {
+			if s.tracer == nil {
+				return []obs.TraceView{}
+			}
+			return s.tracer.Traces(obs.Filter{Limit: defaultTraceLimit})
+		}
+		s.recorder = analytics.NewFlightRecorder(rcfg)
+
+		// Time-series ring: a 1 Hz (by default) self-snapshot of the
+		// gauges and quantiles an operator would otherwise need an
+		// external scraper to keep history for. The flight recorder's
+		// trigger checks ride the same tick.
+		ts := analytics.NewTimeseries(cfg.Analytics.TimeseriesWindow, cfg.Analytics.TimeseriesInterval)
+		ts.AddSource(func(put func(string, float64)) {
+			if sec, ok := s.tracer.PhaseQuantile("total", 0.50); ok {
+				put("latency_p50_ms", sec*1e3)
+			}
+			if sec, ok := s.tracer.PhaseQuantile("total", 0.99); ok {
+				put("latency_p99_ms", sec*1e3)
+			}
+			if sec, ok := s.tracer.PhaseQuantile("queue", 0.99); ok {
+				put("queue_wait_p99_ms", sec*1e3)
+			}
+			if sec, ok := s.tracer.PhaseQuantile("execute", 0.99); ok {
+				put("execute_p99_ms", sec*1e3)
+			}
+		})
+		ts.AddSource(func(put func(string, float64)) {
+			put("queue_depth_max", float64(s.maxQueueDepth()))
+			put("sessions", float64(len(s.sessions.List())))
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			put("goroutines", float64(runtime.NumGoroutine()))
+			put("heap_bytes", float64(ms.HeapAlloc))
+		})
+		ts.AddSource(func(put func(string, float64)) {
+			total := s.analytics.Total() // zero-valued on a nil collector
+			put("requests_total", float64(total.Requests))
+			put("cpu_seconds_total", float64(total.CPUNanos)/1e9)
+			put("scan_bytes_total", float64(total.ScanBytes))
+			put("epsilon_total", total.Epsilon)
+			put("denied_total", float64(total.Denied))
+		})
+		ts.OnTick(s.recorder.Check) // nil-safe on a nil recorder
+		ts.Start()
+		s.timeseries = ts
+	}
 	return s
 }
 
@@ -194,6 +279,9 @@ func (s *Server) RecoverSessions(st *store.Store) (restored int, skipped []strin
 // queues empty (handlers block until their queries execute), so the
 // scheduler close only rejects work when the drain timed out.
 func (s *Server) Shutdown() error {
+	if s.timeseries != nil {
+		s.timeseries.Stop()
+	}
 	s.scrubber.Stop()
 	s.sched.Close()
 	return s.sessions.Shutdown()
@@ -370,8 +458,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/sessions/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/sessions/{id}/transcript", s.handleTranscript)
 	mux.HandleFunc("GET /v1/debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/debug/top", s.handleTop)
+	mux.HandleFunc("GET /v1/debug/timeseries", s.handleTimeseries)
+	mux.HandleFunc("GET /v1/debug/config", s.handleDebugConfig)
+	mux.HandleFunc("PUT /v1/debug/config", s.handleDebugConfig)
 	mux.Handle("GET /metrics", s.metrics.Handler())
 	return s.withObs(mux)
 }
@@ -520,6 +613,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		tr.Tag("dataset", sess.Dataset)
 		tr.Tag("session", sess.ID)
 		tr.Tag("query", truncateQuery(req.Query))
+		// The canonical-workload ID — grouping requests that are the same
+		// workload under different text in /v1/debug/top?by=workload — is
+		// stamped by engine.Prepare, which has the rendered key in hand.
 	}
 	// Every query runs through the per-dataset scheduler: admission with
 	// backpressure, fair dispatch across sessions, and one batched

@@ -55,8 +55,12 @@ func newTestServer(t *testing.T, cfg server.Config) *client.Client {
 			t.Fatal(err)
 		}
 	}
-	ts := httptest.NewServer(server.New(reg, cfg).Handler())
-	t.Cleanup(ts.Close)
+	srv := server.New(reg, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown()
+	})
 	return client.New(ts.URL)
 }
 

@@ -65,6 +65,40 @@ type BatchStats struct {
 // mmap-backed table advises WILLNEED over exactly the byte ranges this
 // batch will read and nothing else. The returned BatchStats describe the
 // scans that actually ran.
+// ScanPlan predicts the columnar scan a noise-free evaluation of this
+// workload alone would issue over d, without running it: the deduplicated
+// sorted column set and the byte traffic. It runs the identical
+// accounting as EvaluateBatch's plan pass — predicates deduplicated by
+// their canonical rendered form, each unique predicate's columns summed
+// via d.ColumnScanBytes — so for a single-workload batch the predicted
+// ScanBytes equals BatchStats.ScanBytes exactly. ok is false when some
+// predicate cannot compile to a columnar kernel (the evaluation would
+// take the row path, whose traffic the column accounting does not model).
+func (tr *Transformed) ScanPlan(d *dataset.Table) (cols []int, scanBytes int64, ok bool) {
+	k := tr.kernels()
+	if k.err != nil {
+		return nil, 0, false
+	}
+	uniq := make(map[string]bool, len(tr.preds))
+	seen := make(map[int]bool)
+	for j, p := range tr.preds {
+		key := p.String()
+		if uniq[key] {
+			continue
+		}
+		uniq[key] = true
+		for _, pos := range k.preds[j].Columns() {
+			scanBytes += d.ColumnScanBytes(pos)
+			if !seen[pos] {
+				seen[pos] = true
+				cols = append(cols, pos)
+			}
+		}
+	}
+	sort.Ints(cols)
+	return cols, scanBytes, true
+}
+
 func (c *TransformCache) EvaluateBatch(d *dataset.Table, items []BatchItem) BatchStats {
 	type shared struct {
 		cp *dataset.CompiledPredicate

@@ -2,6 +2,8 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,6 +23,16 @@ func Key(preds []dataset.Predicate) string {
 		sb.WriteByte(0)
 	}
 	return sb.String()
+}
+
+// ID folds a canonical Key (arbitrarily long) into a short stable
+// identifier usable as a trace tag, sketch key and metric-safe string.
+// The engine stamps it on every request trace so the analytics plane can
+// attribute cost per workload without re-rendering the predicates.
+func ID(key string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return "w" + strconv.FormatUint(h.Sum64(), 16)
 }
 
 // TransformCache is a thread-safe cache of workload transformations,

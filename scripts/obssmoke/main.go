@@ -11,7 +11,12 @@
 //     structured JSON line carrying the same trace ID;
 //   - /metrics exports the apex_phase_seconds histogram with samples;
 //   - the debug listener answers /debug/pprof/ and the runtime gauges
-//     (apex_goroutines) appear on its private /metrics.
+//     (apex_goroutines) appear on its private /metrics;
+//   - POST /v1/sessions/{id}/explain predicts mechanism, epsilon bound and
+//     scan bytes without moving the session's spent counter or transcript;
+//   - GET /v1/debug/top ranks the smoke workload with its attributed cost
+//     vector, and GET /v1/debug/timeseries serves sampler rings;
+//   - /metrics exports nonzero apex_analytics_* attribution families.
 //
 // It exits nonzero (with a reason) on any divergence. Run it from the
 // repository root:
@@ -79,7 +84,8 @@ func run() error {
 	srv, logs, err := startServerCapture(bin, addr,
 		"-data-dir", filepath.Join(work, "data"),
 		"-debug-addr", debugAddr,
-		"-slow-query", "1ns")
+		"-slow-query", "1ns",
+		"-timeseries-interval", "100ms")
 	if err != nil {
 		return err
 	}
@@ -183,6 +189,74 @@ func run() error {
 	}
 	fmt.Printf("obssmoke: trace %s translate span reports translate_cache_hit=true\n", requestID2)
 
+	// ---- analytics plane: EXPLAIN dry run, top-K attribution, timeseries.
+	// EXPLAIN predicts a real plan while provably spending nothing: the
+	// session's spent counter and transcript length are identical before
+	// and after.
+	before, err := get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return err
+	}
+	ex, err := post(base+"/v1/sessions/"+id+"/explain", nil, map[string]any{"query": queryText}, http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("explain: %w", err)
+	}
+	if mech, _ := ex["mechanism"].(string); mech == "" {
+		return fmt.Errorf("explain chose no mechanism: %v", ex)
+	}
+	if up, _ := ex["epsilon_upper"].(float64); up <= 0 {
+		return fmt.Errorf("explain epsilon_upper = %v, want > 0", ex["epsilon_upper"])
+	}
+	if hit, _ := ex["translate_cache_hit"].(bool); !hit {
+		return fmt.Errorf("explain after two asks misses the translation plane: %v", ex)
+	}
+	if sb, _ := ex["predicted_scan_bytes"].(float64); sb <= 0 {
+		return fmt.Errorf("explain predicted_scan_bytes = %v, want > 0", ex["predicted_scan_bytes"])
+	}
+	after, err := get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return err
+	}
+	if before["spent"] != after["spent"] || before["queries"] != after["queries"] {
+		return fmt.Errorf("EXPLAIN changed budget state: before spent=%v queries=%v, after spent=%v queries=%v",
+			before["spent"], before["queries"], after["spent"], after["queries"])
+	}
+	fmt.Printf("obssmoke: explain predicts %v (eps<=%.3f, %v scan bytes) with zero spend\n",
+		ex["mechanism"], ex["epsilon_upper"], ex["predicted_scan_bytes"])
+
+	// Top-K heavy hitters: the smoke workload must surface, attributed to
+	// the smoke dataset with both asks' costs folded in. Attribution rides
+	// trace Finish, so poll briefly.
+	if err := awaitTop(base); err != nil {
+		return err
+	}
+
+	// Timeseries ring: the 100ms sampler must have landed samples with the
+	// runtime and queue gauges.
+	tsDeadline := time.Now().Add(5 * time.Second)
+	for {
+		ts, err := get(base + "/v1/debug/timeseries")
+		if err != nil {
+			return err
+		}
+		samples, _ := ts["samples"].([]any)
+		if len(samples) >= 2 {
+			last, _ := samples[len(samples)-1].(map[string]any)
+			values, _ := last["values"].(map[string]any)
+			for _, want := range []string{"goroutines", "queue_depth_max", "requests_total"} {
+				if _, ok := values[want]; !ok {
+					return fmt.Errorf("timeseries sample lacks %q: %v", want, values)
+				}
+			}
+			fmt.Printf("obssmoke: timeseries has %d samples (latest: %d gauges)\n", len(samples), len(values))
+			break
+		}
+		if time.Now().After(tsDeadline) {
+			return fmt.Errorf("timeseries never accumulated samples: %v", ts)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
 	// The slow-query log line carries the same trace ID.
 	deadline := time.Now().Add(5 * time.Second)
 	var slow string
@@ -227,12 +301,16 @@ func run() error {
 	for _, want := range []string{
 		`apex_translate_cache_misses{dataset="smoke"}`,
 		`apex_translate_cache_hits{dataset="smoke"}`,
+		`apex_analytics_requests_total{dataset="smoke"}`,
+		`apex_analytics_cpu_seconds_total{dataset="smoke"}`,
+		`apex_analytics_scan_bytes_total{dataset="smoke"}`,
+		`apex_analytics_epsilon_total{dataset="smoke"}`,
 	} {
 		if !hasNonzeroSample(string(metrics), want) {
 			return fmt.Errorf("/metrics has no nonzero sample for %s", want)
 		}
 	}
-	fmt.Println("obssmoke: /metrics exports nonzero apex_translate_cache_{hits,misses}")
+	fmt.Println("obssmoke: /metrics exports nonzero translate-cache and analytics families")
 
 	// The private debug listener answers pprof and runtime gauges.
 	dbgBase := "http://" + debugAddr
@@ -272,6 +350,39 @@ func awaitTrace(base, id string) (map[string]any, error) {
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("trace %s never appeared in /v1/debug/traces", id)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// awaitTop polls /v1/debug/top until the smoke workload surfaces with
+// attributed cost. Attribution happens when the trace finishes, strictly
+// after the query response, so the first poll can legitimately miss.
+func awaitTop(base string) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := get(base + "/v1/debug/top?by=workload&k=5")
+		if err != nil {
+			return err
+		}
+		entries, _ := resp["entries"].([]any)
+		for _, e := range entries {
+			entry, _ := e.(map[string]any)
+			if entry["dataset"] != "smoke" {
+				continue
+			}
+			cost, _ := entry["cost"].(map[string]any)
+			reqs, _ := cost["requests"].(float64)
+			scan, _ := cost["scan_bytes"].(float64)
+			eps, _ := cost["epsilon"].(float64)
+			if reqs >= 2 && scan > 0 && eps > 0 {
+				fmt.Printf("obssmoke: top workload %v: %v requests, %v scan bytes, eps=%.3f\n",
+					entry["key"], reqs, scan, eps)
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("smoke workload never surfaced in /v1/debug/top: %v", resp)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
